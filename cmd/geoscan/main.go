@@ -1,0 +1,110 @@
+// Command geoscan runs the geoblocking studies against the simulated
+// Internet and prints the paper's tables to stdout.
+//
+// Usage:
+//
+//	geoscan [-scale 0.1] [-seed 403] [-study top10k|top1m|explore|ooni|cfrules|all] [-v]
+//
+// At -scale 1.0 the world is paper scale (10,000 popular domains,
+// ~152k Top-1M CDN customers, 177 countries); the default 0.1 runs in
+// seconds on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"geoblock"
+	"geoblock/internal/analysis"
+	"geoblock/internal/papertables"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "population scale in (0,1]; 1.0 = paper scale")
+	seed := flag.Uint64("seed", 403, "world seed")
+	study := flag.String("study", "top10k", "study to run: top10k, top1m, explore, ooni, cfrules, extensions, all")
+	verbose := flag.Bool("v", false, "log progress")
+	flag.Parse()
+
+	opts := geoblock.Options{Seed: *seed, Scale: *scale}
+	if *verbose {
+		opts.Log = func(format string, args ...any) {
+			log.Printf(format, args...)
+		}
+	}
+	sys := geoblock.New(opts)
+	out := os.Stdout
+
+	runTop10K := func() {
+		r := sys.RunTop10K(geoblock.Top10KConfig{})
+		papertables.FindingsSummary(out, r)
+		papertables.PrintTable1(out, analysis.BuildTable1(r))
+		rows, total := analysis.BuildTable2(r)
+		papertables.PrintTable2(out, rows, total)
+		papertables.PrintTable3(out, analysis.BuildTable3(sys.World, r.Findings))
+		papertables.PrintCategoryRates(out, "Table 4: Geoblocked sites by category (Top 10K)",
+			analysis.BuildCategoryRates(sys.World, analysis.RespondingDomains(r.Initial), r.Findings))
+		papertables.PrintTable5(out, sys.World.Geo, analysis.BuildTable5(sys.World, r.Findings))
+		papertables.PrintCountryCDN(out, "Table 6: Geoblocking among Top 10K sites, by country",
+			sys.World.Geo, analysis.BuildCountryCDNTable(r.Findings), 10)
+		papertables.PrintProviderRates(out, "Per-provider geoblock rates (§4.2.1)",
+			analysis.BuildProviderRates(papertables.ProviderCountsFromWorld(sys.World), r.Findings))
+	}
+
+	runTop1M := func() {
+		r := sys.RunTop1M(geoblock.Top1MConfig{})
+		fmt.Fprintf(out, "Top 1M: %d customers discovered, %d eligible, %d sampled, %d explicit findings\n\n",
+			r.Discovered.Total(), r.EligibleCount, len(r.TestDomains), len(r.ExplicitFindings))
+		papertables.PrintCountryCDN(out, "Table 7: Geoblocking among Top 1M sites, by country",
+			sys.World.Geo, analysis.BuildCountryCDNTable(r.ExplicitFindings), 10)
+		papertables.PrintCategoryRates(out, "Table 8: Geoblocked sites by top category (Top 1M)",
+			analysis.BuildCategoryRates(sys.World, analysis.RespondingDomains(r.Initial), r.ExplicitFindings))
+		papertables.PrintProviderRates(out, "Per-provider geoblock rates (§5.2.1)",
+			analysis.BuildProviderRates(r.TestedPerProvider, r.ExplicitFindings))
+		papertables.PrintNonExplicit(out, r)
+	}
+
+	runExtensions := func() {
+		r := sys.RunTop10K(geoblock.Top10KConfig{})
+		papertables.PrintTimeouts(out, sys.AnalyzeTimeouts(r, 10))
+		targets := []geoblock.CountryCode{"IR", "SY", "SD", "CU", "CN", "RU", "BR", "IN", "NG", "UA"}
+		papertables.PrintAppLayer(out, sys.RunAppLayerStudy(analysis.RespondingDomains(r.Initial), "US", targets))
+		seen := map[string]bool{}
+		var regDomains []string
+		for _, f := range r.Candidates {
+			if !seen[f.DomainName] {
+				seen[f.DomainName] = true
+				regDomains = append(regDomains, f.DomainName)
+			}
+		}
+		papertables.PrintRegional(out, sys.RunRegionalAnalysis(regDomains, 12))
+	}
+
+	switch *study {
+	case "top10k":
+		runTop10K()
+	case "top1m":
+		runTop1M()
+	case "explore":
+		papertables.PrintExploration(out, sys.RunExploration())
+	case "ooni":
+		corpus := sys.SynthesizeOONI(2)
+		papertables.PrintOONI(out, sys.AnalyzeOONI(corpus))
+	case "cfrules":
+		papertables.PrintCloudflareTable9(out, sys.World.Geo, sys.CloudflareRulesSnapshot())
+	case "extensions":
+		runExtensions()
+	case "all":
+		papertables.PrintExploration(out, sys.RunExploration())
+		runTop10K()
+		runTop1M()
+		corpus := sys.SynthesizeOONI(2)
+		papertables.PrintOONI(out, sys.AnalyzeOONI(corpus))
+		papertables.PrintCloudflareTable9(out, sys.World.Geo, sys.CloudflareRulesSnapshot())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown study %q\n", *study)
+		os.Exit(2)
+	}
+}

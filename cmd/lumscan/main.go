@@ -1,0 +1,97 @@
+// Command lumscan is the interactive face of the scanning engine: probe
+// chosen domains from chosen countries through the simulated
+// residential proxy mesh and print per-sample results — the workflow
+// the paper's operators used when manually verifying block pages.
+//
+//	lumscan -domains airbnb.fr,fasttech.com -countries IR,CN,US -samples 5
+//
+// Pass -domains all to scan the whole (safe) Top-10K population, or
+// -zgrab to use the bare ZGrab header set and watch bot defenses fire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"geoblock"
+	"geoblock/internal/fingerprint"
+	"geoblock/internal/geo"
+	"geoblock/internal/lumscan"
+	"geoblock/internal/proxy"
+)
+
+func main() {
+	domainsFlag := flag.String("domains", "airbnb.fr,fasttech.com,geniusdisplay.com", "comma-separated domains, or 'all'")
+	countriesFlag := flag.String("countries", "US,IR,SY,CN,RU", "comma-separated country codes")
+	samples := flag.Int("samples", 3, "samples per (domain, country) pair")
+	scale := flag.Float64("scale", 0.1, "population scale in (0,1]")
+	seed := flag.Uint64("seed", 403, "world seed")
+	zgrab := flag.Bool("zgrab", false, "use the bare ZGrab header set instead of browser headers")
+	showErrors := flag.Bool("errors", false, "print failed samples too")
+	flag.Parse()
+
+	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale})
+	net := proxy.NewNetwork(sys.World)
+	cls := fingerprint.NewClassifier()
+
+	var domains []string
+	if *domainsFlag == "all" {
+		for _, d := range sys.World.Top10K() {
+			domains = append(domains, d.Name)
+		}
+	} else {
+		for _, d := range strings.Split(*domainsFlag, ",") {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				continue
+			}
+			if _, ok := sys.World.Lookup(d); !ok {
+				fmt.Fprintf(os.Stderr, "lumscan: %s does not exist in this world (seed %d, scale %.2f)\n", d, *seed, *scale)
+				os.Exit(2)
+			}
+			domains = append(domains, d)
+		}
+	}
+
+	var countries []geo.CountryCode
+	for _, c := range strings.Split(*countriesFlag, ",") {
+		c = strings.TrimSpace(strings.ToUpper(c))
+		if c != "" {
+			countries = append(countries, geo.CountryCode(c))
+		}
+	}
+
+	cfg := lumscan.DefaultConfig()
+	cfg.Samples = *samples
+	cfg.Phase = "cli"
+	if *zgrab {
+		cfg.Headers = lumscan.ZGrabHeaders()
+	}
+	res := lumscan.Scan(net, domains, countries,
+		lumscan.CrossProduct(len(domains), len(countries)), cfg)
+
+	fmt.Printf("%-28s %-4s %-3s %-8s %-6s %-16s %s\n",
+		"DOMAIN", "CC", "N", "STATUS", "BYTES", "EXIT", "PAGE")
+	for i := range res.Samples {
+		s := &res.Samples[i]
+		domain := res.Domains[s.Domain]
+		cc := res.Countries[s.Country]
+		if !s.OK() {
+			if *showErrors {
+				fmt.Printf("%-28s %-4s %-3d %-8s %-6s %-16s -\n",
+					domain, cc, s.Attempt, "ERR", "-", s.Err)
+			}
+			continue
+		}
+		page := "-"
+		if s.Body != "" {
+			if k := cls.Classify(s.Body); k != 0 {
+				page = k.String()
+			}
+		}
+		fmt.Printf("%-28s %-4s %-3d %-8d %-6d %-16s %s\n",
+			domain, cc, s.Attempt, s.Status, s.BodyLen, s.ExitIP, page)
+	}
+}

@@ -1,0 +1,91 @@
+// Command worldd serves the simulated web over a real HTTP listener so
+// the block pages can be explored with curl or a browser:
+//
+//	worldd -addr :8403 -scale 0.1
+//
+//	# Airbnb's restriction page, as seen from Iran:
+//	curl 'http://localhost:8403/?host=airbnb.fr&from=IR'
+//
+//	# The App Engine platform block, as seen from Crimea:
+//	curl 'http://localhost:8403/?host=geniusdisplay.com&from=crimea'
+//
+//	# The same site from Germany serves its real page:
+//	curl 'http://localhost:8403/?host=geniusdisplay.com&from=DE'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"geoblock"
+	"geoblock/internal/blockpage"
+	"geoblock/internal/vnet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8403", "listen address")
+	scale := flag.Float64("scale", 0.1, "population scale in (0,1]")
+	seed := flag.Uint64("seed", 403, "world seed")
+	flag.Parse()
+
+	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", vnet.Handler(sys.World))
+	mux.HandleFunc("/domains", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "# geoblocking domains in the simulated Top 10K (ground truth)")
+		for _, d := range sys.World.Top10K() {
+			if len(d.GeoRules) == 0 && !d.AirbnbStyle && !d.GAEHosted {
+				continue
+			}
+			fmt.Fprintf(w, "%s\tproviders=%v", d.Name, d.Providers)
+			for p, rule := range d.GeoRules {
+				fmt.Fprintf(w, "\t%s:%s=%v", p, rule.Action, rule.CountryList())
+			}
+			if d.GAEHosted {
+				fmt.Fprintf(w, "\tGAE-platform-block")
+			}
+			if d.AirbnbStyle {
+				fmt.Fprintf(w, "\tairbnb-policy")
+			}
+			fmt.Fprintln(w)
+		}
+	})
+
+	mux.HandleFunc("/gallery", func(w http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("page")
+		if kind == "" {
+			fmt.Fprintln(w, "# one sample render per block-page class; fetch /gallery?page=<name>")
+			for _, k := range append(blockpage.Kinds(), blockpage.Censorship) {
+				fmt.Fprintln(w, k)
+			}
+			return
+		}
+		for _, k := range append(blockpage.Kinds(), blockpage.Censorship) {
+			if k.String() == kind {
+				w.Header().Set("Content-Type", "text/html; charset=utf-8")
+				w.WriteHeader(k.Status())
+				fmt.Fprint(w, blockpage.Render(k, blockpage.Vars{
+					Domain: "gallery.example.com", ClientIP: "203.0.113.7",
+					CountryName: "Iran", RayID: "44bfa65f2a8c2b91", Nonce: "f3a9c1d0",
+				}))
+				return
+			}
+		}
+		http.Error(w, "unknown page class: "+kind, http.StatusNotFound)
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("worldd: %d domains simulated; serving on %s", len(sys.World.Top10K()), *addr)
+	log.Printf("try: curl 'http://localhost%s/?host=airbnb.fr&from=IR'", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

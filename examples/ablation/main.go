@@ -1,0 +1,129 @@
+// Ablations of the paper's methodology choices (§4.1.5 and DESIGN.md
+// §4): the length-cutoff sweep, the percentage-vs-raw comparison, the
+// agreement-threshold sweep, and the single-link dendrogram the cut is
+// taken from.
+//
+//	go run ./examples/ablation [-scale 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geoblock"
+	"geoblock/internal/blockpage"
+	"geoblock/internal/cluster"
+	"geoblock/internal/fingerprint"
+	"geoblock/internal/outlier"
+	"geoblock/internal/papertables"
+	"geoblock/internal/textfeat"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "population scale in (0,1]")
+	flag.Parse()
+
+	sys := geoblock.New(geoblock.Options{Scale: *scale})
+	r := sys.RunTop10K(geoblock.Top10KConfig{})
+	out := os.Stdout
+
+	papertables.PrintClusterSummaries(out, r.ClusterSummaries(), 12)
+
+	// 1. Length-cutoff sweep: "selection of length cutoff is relatively
+	// arbitrary between 5% and 50%" (§4.1.5).
+	fmt.Println("Length-cutoff sweep (outliers extracted | block pages recalled):")
+	cls := fingerprint.NewClassifier()
+	type obs struct {
+		domain int32
+		length int
+		block  bool
+	}
+	var observations []obs
+	for i := range r.Initial.Samples {
+		sm := &r.Initial.Samples[i]
+		if !sm.OK() || sm.BodyLen <= 0 {
+			continue
+		}
+		isBlock := sm.Body != "" && cls.IsBlockPage(sm.Body)
+		observations = append(observations, obs{sm.Domain, int(sm.BodyLen), isBlock})
+	}
+	for _, cut := range []float64{0.05, 0.15, 0.30, 0.50, 0.80} {
+		extracted, recalled, blocks := 0, 0, 0
+		for _, o := range observations {
+			hit := r.Rep.IsOutlier(o.domain, o.length, cut)
+			if hit {
+				extracted++
+			}
+			if o.block {
+				blocks++
+				if hit {
+					recalled++
+				}
+			}
+		}
+		fmt.Printf("  cutoff %2.0f%%: %6d outliers, recall %5.1f%% (%d/%d)\n",
+			cut*100, extracted, 100*float64(recalled)/float64(max(blocks, 1)), recalled, blocks)
+	}
+
+	// 2. Percentage vs raw byte difference (the paper rejects raw:
+	// "raw length differences excessively penalize long pages").
+	fmt.Println("\nPercentage vs raw cutoff (block-page recall):")
+	for _, delta := range []int{500, 2000, 8000} {
+		recalled, blocks := 0, 0
+		for _, o := range observations {
+			if !o.block {
+				continue
+			}
+			blocks++
+			if r.Rep.IsOutlierRaw(o.domain, o.length, delta) {
+				recalled++
+			}
+		}
+		fmt.Printf("  raw Δ%5dB: recall %5.1f%%\n", delta, 100*float64(recalled)/float64(max(blocks, 1)))
+	}
+	_ = outlier.DefaultCutoff
+
+	// 3. Agreement-threshold sweep over the candidate pairs.
+	fmt.Println("\nAgreement-threshold sweep (candidate pairs eliminated):")
+	for _, th := range []float64{0.5, 0.8, 0.95, 1.0} {
+		eliminated := 0
+		for _, rate := range r.AgreementRates {
+			if rate < th {
+				eliminated++
+			}
+		}
+		fmt.Printf("  threshold %3.0f%%: %3d of %d eliminated\n",
+			th*100, eliminated, len(r.AgreementRates))
+	}
+
+	// 4. The dendrogram behind the cluster cut: how the count moves
+	// with the threshold.
+	docs := make([]string, 0, len(r.Outliers))
+	for i := range r.Outliers {
+		docs = append(docs, r.Outliers[i].Body)
+	}
+	if len(docs) > 600 {
+		docs = docs[:600]
+	}
+	_, vecs := textfeat.FitTransform(docs)
+	dend := cluster.BuildDendrogram(docs, vecs, 8)
+	fmt.Println("\nSingle-link dendrogram cuts (clusters at each threshold):")
+	ths := []float64{0.5, 0.7, 0.82, 0.9, 0.97}
+	counts := dend.ClusterCounts(ths)
+	for i, th := range ths {
+		marker := ""
+		if th == 0.82 {
+			marker = "   <- production cut"
+		}
+		fmt.Printf("  cosine ≥ %.2f: %4d clusters%s\n", th, counts[i], marker)
+	}
+	_ = blockpage.Kinds
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+// Cloudflare validation (§6 of the paper): synthesize the July 2018
+// firewall-rules snapshot — taken during the accidental April–August
+// regression that gave every account tier the Enterprise-only country
+// block — and regenerate Table 9 and Figure 5.
+//
+//	go run ./examples/cloudflare-rules [-scale 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geoblock"
+	"geoblock/internal/analysis"
+	"geoblock/internal/cfrules"
+	"geoblock/internal/papertables"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "zone-population scale in (0,1]")
+	flag.Parse()
+
+	sys := geoblock.New(geoblock.Options{Scale: *scale})
+	ds := sys.CloudflareRulesSnapshot()
+
+	total := 0
+	for _, z := range ds.ZonesPerTier {
+		total += z
+	}
+	fmt.Printf("Snapshot: %d zones, %d active country-scoped rules\n\n", total, len(ds.Rules))
+
+	papertables.PrintCloudflareTable9(os.Stdout, sys.World.Geo, ds)
+	papertables.PrintFigure(os.Stdout,
+		"Figure 5: Enterprise geoblock-rule activation over time (KP, IR, SY, SD, CU)",
+		analysis.BuildFigure5(ds))
+
+	fmt.Printf("Non-Enterprise block rules activated during the regression window: %d\n",
+		ds.RegressionUptake())
+	fmt.Printf("(every one of them would have been impossible before April 2018 —\n")
+	fmt.Printf(" 'where the functionality is available, many websites will opt to use it')\n\n")
+
+	kp := ds.CumulativeActivations("KP", []cfrules.Day{cfrules.DaySnapshot})[0]
+	fmt.Printf("North Korea: %d Enterprise rules — the most blocked country among large customers,\n", kp)
+	fmt.Printf("despite its negligible Internet access: sanctions compliance, not abuse, drives it.\n")
+}

@@ -1,0 +1,74 @@
+// Future-work extensions (§7.3 of the paper), implemented: detection of
+// timeout-based geoblocking, application-layer geo-discrimination
+// (removed features, price markups), and region-granular blocking
+// (Crimea vs mainland Ukraine).
+//
+//	go run ./examples/extensions [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geoblock"
+	"geoblock/internal/geo"
+	"geoblock/internal/papertables"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "population scale in (0,1]")
+	flag.Parse()
+
+	sys := geoblock.New(geoblock.Options{Scale: *scale})
+	out := os.Stdout
+
+	// The extensions reuse the §4 snapshot: run it first.
+	r := sys.RunTop10K(geoblock.Top10KConfig{})
+	fmt.Fprintf(out, "Base study: %d confirmed geoblocking instances. Now the §7.3 extensions.\n\n",
+		len(r.Findings))
+
+	// 1. Timeout geoblocking: domains that silently drop connections
+	// from specific countries.
+	timeouts := sys.AnalyzeTimeouts(r, 10)
+	papertables.PrintTimeouts(out, timeouts)
+
+	// 2. Application-layer discrimination across the whole responding
+	// population, against a U.S. reference.
+	targets := []geo.CountryCode{"IR", "SY", "SD", "CU", "CN", "RU", "BR", "IN", "NG", "UA"}
+	app := sys.RunAppLayerStudy(respondingDomains(r), "US", targets)
+	papertables.PrintAppLayer(out, app)
+
+	// 3. Region granularity: probe every candidate domain through
+	// Crimean vs mainland-Ukraine exits.
+	regional := sys.RunRegionalAnalysis(candidateDomains(r), 12)
+	papertables.PrintRegional(out, regional)
+}
+
+func respondingDomains(r *geoblock.Top10KResult) []string {
+	ok := make([]bool, len(r.SafeDomains))
+	for i := range r.Initial.Samples {
+		if r.Initial.Samples[i].OK() {
+			ok[r.Initial.Samples[i].Domain] = true
+		}
+	}
+	var out []string
+	for i, name := range r.SafeDomains {
+		if ok[i] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func candidateDomains(r *geoblock.Top10KResult) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range r.Candidates {
+		if !seen[f.DomainName] {
+			seen[f.DomainName] = true
+			out = append(out, f.DomainName)
+		}
+	}
+	return out
+}

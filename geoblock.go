@@ -1,0 +1,181 @@
+// Package geoblock is a full reproduction of "403 Forbidden: A Global
+// View of CDN Geoblocking" (McDonald et al., IMC 2018) as a Go library:
+// a deterministic simulated Internet — CDN edges, a residential proxy
+// mesh, national censorship, GeoIP — plus the paper's semi-automated
+// detection system (Lumscan scanning, page-length outlier extraction,
+// TF-IDF clustering, fingerprinting, resampling with the 80% agreement
+// threshold) and analyzers for every table and figure in the paper's
+// evaluation.
+//
+// Quick start:
+//
+//	sys := geoblock.New(geoblock.Options{Scale: 0.1})
+//	res := sys.RunTop10K(geoblock.Top10KConfig{})
+//	for _, f := range res.Findings {
+//	    fmt.Printf("%s blocked in %s by %v\n", f.DomainName, f.Country, f.Kind)
+//	}
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for
+// the map); this package is the stable entry point that the example
+// programs, the command-line tools and the benchmark harness share.
+package geoblock
+
+import (
+	"geoblock/internal/cfrules"
+	"geoblock/internal/geo"
+	"geoblock/internal/ooni"
+	"geoblock/internal/pipeline"
+	"geoblock/internal/worldgen"
+)
+
+// Re-exported result and config types, so callers only import this
+// package.
+type (
+	// Top10KConfig tunes the §4 study; the zero value uses the paper's
+	// parameters (3 initial samples, 20 confirmation samples, 80%
+	// threshold, 20 reference countries, 30% length cutoff).
+	Top10KConfig = pipeline.Top10KConfig
+	// Top10KResult is the §4 study output.
+	Top10KResult = pipeline.Top10KResult
+	// Top1MConfig tunes the §5 study.
+	Top1MConfig = pipeline.Top1MConfig
+	// Top1MResult is the §5 study output.
+	Top1MResult = pipeline.Top1MResult
+	// Finding is one confirmed geoblocking observation.
+	Finding = pipeline.Finding
+	// ExploreResult is the §3.1 exploration output.
+	ExploreResult = pipeline.ExploreResult
+	// ConsistencyExperiment is the Figure 1/3 machinery.
+	ConsistencyExperiment = pipeline.ConsistencyExperiment
+	// OONICorpus is a synthesized censorship-measurement corpus.
+	OONICorpus = ooni.Corpus
+	// OONIAnalysis is the §7.1 confound readout.
+	OONIAnalysis = ooni.Analysis
+	// CloudflareRules is the §6 firewall-rules snapshot.
+	CloudflareRules = cfrules.Dataset
+	// WorldConfig exposes every world-calibration knob.
+	WorldConfig = worldgen.Config
+	// TimeoutResult is the §7.3 timeout-geoblocking extension output.
+	TimeoutResult = pipeline.TimeoutResult
+	// AppLayerResult is the §7.3 application-layer extension output.
+	AppLayerResult = pipeline.AppLayerResult
+	// RegionalFinding is one §4.2.2-style region-granular observation.
+	RegionalFinding = pipeline.RegionalFinding
+	// CountryCode is an ISO 3166-1 alpha-2 country code.
+	CountryCode = geo.CountryCode
+)
+
+// Options configures a System.
+type Options struct {
+	// Seed drives all randomness; the same seed reproduces the same
+	// world and the same study results bit for bit. 0 means the default
+	// seed (403).
+	Seed uint64
+	// Scale in (0, 1] shrinks every population uniformly; 1.0 (the
+	// default) is paper scale (10,000 + 152k CDN customers, 177
+	// countries).
+	Scale float64
+	// World, when non-nil, overrides Seed/Scale with a full custom
+	// calibration.
+	World *WorldConfig
+	// Log, when non-nil, receives progress lines from long runs.
+	Log func(format string, args ...any)
+}
+
+// System is a simulated Internet plus the measurement apparatus over
+// it. Create one with New; it is safe to run multiple studies against
+// the same System, but note that studies advance the world's policy
+// clock (as time passed during the real study, too).
+type System struct {
+	World *worldgen.World
+	study *pipeline.Study
+}
+
+// New builds the world and the measurement infrastructure.
+func New(opts Options) *System {
+	var cfg worldgen.Config
+	if opts.World != nil {
+		cfg = *opts.World
+	} else {
+		cfg = worldgen.DefaultConfig()
+		if opts.Seed != 0 {
+			cfg.Seed = opts.Seed
+		}
+		if opts.Scale != 0 {
+			cfg.Scale = opts.Scale
+		}
+	}
+	w := worldgen.Generate(cfg)
+	s := pipeline.New(w)
+	s.Log = opts.Log
+	return &System{World: w, study: s}
+}
+
+// RunTop10K executes the Alexa Top-10K study of §4: safe-list
+// filtering, the 3-sample snapshot across 177 countries, outlier
+// extraction, clustering and labeling, recall evaluation, and the
+// resample-and-confirm flow.
+func (s *System) RunTop10K(cfg Top10KConfig) *Top10KResult {
+	return s.study.RunTop10K(cfg)
+}
+
+// RunTop1M executes the Top-1M CDN-customer study of §5: population
+// discovery, the 5% sample, explicit confirmation, and the non-explicit
+// consistency analysis for Akamai and Incapsula.
+func (s *System) RunTop1M(cfg Top1MConfig) *Top1MResult {
+	return s.study.RunTop1M(cfg)
+}
+
+// RunExploration executes the §3.1 VPS exploration: NS-based customer
+// discovery, ZGrab-style probing from 16 VPSes, and browser
+// verification of every flagged pair.
+func (s *System) RunExploration() *ExploreResult {
+	return s.study.RunExploration()
+}
+
+// RunConsistencyExperiment runs the Figure 1/3 subsampling experiment
+// over the confirmed findings of a Top-10K run.
+func (s *System) RunConsistencyExperiment(r *Top10KResult, population, draws int, sizes []int) *ConsistencyExperiment {
+	return s.study.RunConsistencyExperiment(r, population, draws, sizes)
+}
+
+// SynthesizeOONI builds a censorship-measurement corpus over the
+// world's Citizen Lab test list (§7.1).
+func (s *System) SynthesizeOONI(perPair int) *OONICorpus {
+	return ooni.Synthesize(s.World, ooni.Config{MeasurementsPerPair: perPair})
+}
+
+// AnalyzeOONI runs the geoblocking-confound analysis over a corpus.
+func (s *System) AnalyzeOONI(c *OONICorpus) *OONIAnalysis {
+	return ooni.Analyze(s.World, c)
+}
+
+// CloudflareRulesSnapshot synthesizes the §6 firewall-rules dataset at
+// the system's scale.
+func (s *System) CloudflareRulesSnapshot() *CloudflareRules {
+	return cfrules.Synthesize(s.World.Cfg.Seed, s.World.Cfg.Scale)
+}
+
+// AnalyzeTimeouts runs the §7.3 timeout-geoblocking extension over a
+// Top-10K run: domains that consistently time out from specific
+// countries while answering everywhere else.
+func (s *System) AnalyzeTimeouts(r *Top10KResult, resamples int) *TimeoutResult {
+	return s.study.AnalyzeTimeouts(r, resamples)
+}
+
+// RunAppLayerStudy runs the §7.3 application-layer extension: fetch
+// each domain from a reference country and the targets, and report
+// removed features, region notices, and price markups.
+func (s *System) RunAppLayerStudy(domains []string, ref CountryCode, targets []CountryCode) *AppLayerResult {
+	return s.study.RunAppLayerStudy(domains, ref, targets)
+}
+
+// RunRegionalAnalysis probes domains through Crimean vs mainland-
+// Ukraine exits and reports region-only blocking (§4.2.2 granularity).
+func (s *System) RunRegionalAnalysis(domains []string, samples int) []RegionalFinding {
+	return s.study.RunRegionalAnalysis(domains, samples)
+}
+
+// DefaultWorldConfig returns the paper-scale calibration for callers
+// that want to tweak individual knobs before passing Options.World.
+func DefaultWorldConfig() WorldConfig { return worldgen.DefaultConfig() }

@@ -1,0 +1,124 @@
+package geoblock
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	once sync.Once
+	sys  *System
+	r10  *Top10KResult
+)
+
+func system(t *testing.T) (*System, *Top10KResult) {
+	t.Helper()
+	once.Do(func() {
+		sys = New(Options{Scale: 0.05})
+		r10 = sys.RunTop10K(Top10KConfig{})
+	})
+	return sys, r10
+}
+
+func TestPublicAPITop10K(t *testing.T) {
+	s, r := system(t)
+	if len(r.Findings) == 0 {
+		t.Fatal("no findings through the public API")
+	}
+	for _, f := range r.Findings {
+		if f.DomainName == "" || f.Country == "" {
+			t.Fatalf("malformed finding %+v", f)
+		}
+		if _, ok := s.World.Lookup(f.DomainName); !ok {
+			t.Fatalf("finding references unknown domain %s", f.DomainName)
+		}
+	}
+}
+
+func TestPublicAPIConsistency(t *testing.T) {
+	s, r := system(t)
+	exp := s.RunConsistencyExperiment(r, 20, 50, []int{3, 20})
+	if exp.MeanFalseNegative(20) > exp.MeanFalseNegative(3)+1e-9 {
+		t.Fatal("false negatives should not grow with sample size")
+	}
+}
+
+func TestPublicAPIOONI(t *testing.T) {
+	s, _ := system(t)
+	corpus := s.SynthesizeOONI(1)
+	a := s.AnalyzeOONI(corpus)
+	if a.TotalMeasurements == 0 || a.GeoblockCases == 0 {
+		t.Fatalf("OONI analysis empty: %+v", a)
+	}
+}
+
+func TestPublicAPICloudflareRules(t *testing.T) {
+	s, _ := system(t)
+	ds := s.CloudflareRulesSnapshot()
+	if len(ds.Rules) == 0 {
+		t.Fatal("no rules synthesized")
+	}
+	baseline, _ := ds.Table9(nil)
+	if baseline.PerTier == nil {
+		t.Fatal("no baseline")
+	}
+}
+
+func TestOptionsSeedChangesWorld(t *testing.T) {
+	a := New(Options{Scale: 0.02, Seed: 1})
+	b := New(Options{Scale: 0.02, Seed: 2})
+	if a.World.Top10K()[0].Name == b.World.Top10K()[0].Name &&
+		a.World.Top10K()[1].Name == b.World.Top10K()[1].Name {
+		t.Fatal("different seeds produced identical worlds")
+	}
+}
+
+func TestCustomWorldConfig(t *testing.T) {
+	cfg := DefaultWorldConfig()
+	cfg.Scale = 0.02
+	cfg.CFGeoblockRate = 0
+	cfg.CloudFrontGeoblockRate = 0
+	s := New(Options{World: &cfg})
+	if s.World.Cfg.CFGeoblockRate != 0 {
+		t.Fatal("custom config not honored")
+	}
+}
+
+func TestEndToEndDeterminism(t *testing.T) {
+	// Two independently constructed systems must produce bit-identical
+	// study results: the property every EXPERIMENTS.md number relies on.
+	run := func() *Top10KResult {
+		s := New(Options{Scale: 0.02, Seed: 11})
+		return s.RunTop10K(Top10KConfig{})
+	}
+	a, b := run(), run()
+	if len(a.Findings) != len(b.Findings) {
+		t.Fatalf("finding counts differ: %d vs %d", len(a.Findings), len(b.Findings))
+	}
+	for i := range a.Findings {
+		if a.Findings[i] != b.Findings[i] {
+			t.Fatalf("finding %d differs:\n%+v\n%+v", i, a.Findings[i], b.Findings[i])
+		}
+	}
+	if len(a.Outliers) != len(b.Outliers) || len(a.Clusters) != len(b.Clusters) {
+		t.Fatal("pipeline intermediates differ")
+	}
+	for k, row := range a.Recall {
+		if b.Recall[k] != row {
+			t.Fatalf("recall for %v differs", k)
+		}
+	}
+}
+
+func TestExtensionsThroughFacade(t *testing.T) {
+	s, r := system(t)
+	tr := s.AnalyzeTimeouts(r, 6)
+	if tr == nil {
+		t.Fatal("nil timeout result")
+	}
+	al := s.RunAppLayerStudy(r.SafeDomains[:20], "US", []CountryCode{"IR", "CN"})
+	if al.DomainsTested != 20 {
+		t.Fatalf("tested = %d", al.DomainsTested)
+	}
+	_ = s.RunRegionalAnalysis([]string{"airbnb.fr"}, 6)
+}

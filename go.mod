@@ -1,0 +1,3 @@
+module geoblock
+
+go 1.22

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+
+	"geoblock/internal/blockpage"
+	"geoblock/internal/category"
+	"geoblock/internal/cfrules"
+	"geoblock/internal/pipeline"
+	"geoblock/internal/worldgen"
+)
+
+var (
+	once   sync.Once
+	study  *pipeline.Study
+	result *pipeline.Top10KResult
+)
+
+func top10K(t *testing.T) (*pipeline.Study, *pipeline.Top10KResult) {
+	t.Helper()
+	once.Do(func() {
+		w := worldgen.Generate(worldgen.TestConfig())
+		study = pipeline.New(w)
+		result = study.RunTop10K(pipeline.Top10KConfig{Concurrency: 8})
+	})
+	return study, result
+}
+
+func TestBuildTable1(t *testing.T) {
+	_, r := top10K(t)
+	t1 := BuildTable1(r)
+	if t1.InitialDomains != 1000 {
+		t.Fatalf("initial = %d", t1.InitialDomains)
+	}
+	if t1.SafeDomains >= t1.InitialDomains || t1.SafeDomains == 0 {
+		t.Fatalf("safe = %d", t1.SafeDomains)
+	}
+	if t1.InitialSamples != t1.SafeDomains*len(r.Countries) {
+		t.Fatal("sample pairs wrong")
+	}
+	if t1.ClusteredPages == 0 || t1.Clusters == 0 {
+		t.Fatal("no clustering volume")
+	}
+	if t1.DiscoveredProviders < 4 || t1.DiscoveredProviders > 7 {
+		t.Fatalf("discovered providers = %d, paper found 7", t1.DiscoveredProviders)
+	}
+}
+
+func TestBuildTable2(t *testing.T) {
+	_, r := top10K(t)
+	rows, total := BuildTable2(r)
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14 (Table 2)", len(rows))
+	}
+	if total.Actual == 0 {
+		t.Fatal("no actual block pages")
+	}
+	var sumRec, sumAct int
+	for _, row := range rows {
+		if row.Recalled > row.Actual {
+			t.Fatalf("recall > actual for %v", row.Kind)
+		}
+		sumRec += row.Recalled
+		sumAct += row.Actual
+	}
+	if sumRec != total.Recalled || sumAct != total.Actual {
+		t.Fatal("totals row does not sum")
+	}
+	overall := total.Recall()
+	if overall <= 0 || overall > 0.95 {
+		t.Fatalf("overall recall %.3f (paper: 0.583)", overall)
+	}
+}
+
+func TestBuildTable3(t *testing.T) {
+	s, r := top10K(t)
+	rows := BuildTable3(s.World, r.Findings)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Rows sorted by total descending; Shopping should rank high.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Total > rows[i-1].Total {
+			t.Fatal("rows not sorted")
+		}
+	}
+	uniqueTotal := 0
+	for _, row := range rows {
+		uniqueTotal += row.Total
+	}
+	if uniqueTotal < pipeline.UniqueDomains(r.Findings) {
+		t.Fatal("table drops domains")
+	}
+}
+
+func TestBuildCategoryRates(t *testing.T) {
+	s, r := top10K(t)
+	tested := RespondingDomains(r.Initial)
+	rows := BuildCategoryRates(s.World, tested, r.Findings)
+	var testedSum, blockedSum int
+	for _, row := range rows {
+		if row.Geoblocked > row.Tested {
+			t.Fatalf("blocked > tested for %s", row.Category)
+		}
+		testedSum += row.Tested
+		blockedSum += row.Geoblocked
+	}
+	if testedSum != len(tested) {
+		t.Fatalf("tested sum %d != %d", testedSum, len(tested))
+	}
+	rate := float64(blockedSum) / float64(testedSum)
+	// Paper: 1.6% of Top-10K tested domains geoblock.
+	if rate < 0.003 || rate > 0.06 {
+		t.Fatalf("overall geoblock rate %.4f (paper: 0.016)", rate)
+	}
+	// Market-segmented categories (Shopping, Travel, Vehicles, …) should
+	// out-block the low-propensity ones (IT, Games, Education) in
+	// aggregate; per-category comparisons are too noisy at test scale.
+	high := map[category.Category]bool{
+		category.Shopping: true, category.Advertising: true,
+		category.JobSearch: true, category.Travel: true,
+		category.PersonalVehicles: true, category.Auctions: true,
+	}
+	low := map[category.Category]bool{
+		category.InfoTech: true, category.Games: true,
+		category.Entertainment: true, category.Finance: true,
+		category.Education: true,
+	}
+	var hiT, hiB, loT, loB int
+	for _, row := range rows {
+		if high[row.Category] {
+			hiT += row.Tested
+			hiB += row.Geoblocked
+		}
+		if low[row.Category] {
+			loT += row.Tested
+			loB += row.Geoblocked
+		}
+	}
+	if hiT == 0 || loT == 0 {
+		t.Fatal("category buckets empty")
+	}
+	if float64(hiB)/float64(hiT) <= float64(loB)/float64(loT) {
+		t.Fatalf("high-propensity categories (%d/%d) should out-block low (%d/%d)",
+			hiB, hiT, loB, loT)
+	}
+}
+
+func TestBuildTable5(t *testing.T) {
+	s, r := top10K(t)
+	t5 := BuildTable5(s.World, r.Findings)
+	if len(t5.TLDs) == 0 || len(t5.Countries) == 0 {
+		t.Fatal("empty table 5")
+	}
+	if t5.TLDs[0].Key != ".com" {
+		t.Fatalf("top TLD = %s, want .com (paper: 70 of 100)", t5.TLDs[0].Key)
+	}
+	topCountries := map[string]bool{}
+	for i := 0; i < 6 && i < len(t5.Countries); i++ {
+		topCountries[t5.Countries[i].Key] = true
+	}
+	sanctioned := 0
+	for _, cc := range []string{"IR", "SY", "SD", "CU"} {
+		if topCountries[cc] {
+			sanctioned++
+		}
+	}
+	if sanctioned < 3 {
+		t.Fatalf("only %d sanctioned countries in the top 6: %v", sanctioned, t5.Countries[:6])
+	}
+	// Instances per country must sum to total findings.
+	sum := 0
+	for _, kv := range t5.Countries {
+		sum += kv.Count
+	}
+	if sum != len(r.Findings) {
+		t.Fatalf("country instances %d != findings %d", sum, len(r.Findings))
+	}
+}
+
+func TestBuildCountryCDNTable(t *testing.T) {
+	_, r := top10K(t)
+	rows := BuildCountryCDNTable(r.Findings)
+	total := 0
+	for _, row := range rows {
+		perKindSum := 0
+		for _, n := range row.PerKind {
+			perKindSum += n
+		}
+		if perKindSum != row.Total {
+			t.Fatalf("row %s does not sum", row.Country)
+		}
+		total += row.Total
+	}
+	if total != len(r.Findings) {
+		t.Fatal("table drops instances")
+	}
+	// AppEngine column only in sanctioned countries.
+	for _, row := range rows {
+		if row.PerKind[blockpage.AppEngine] > 0 {
+			switch row.Country {
+			case "IR", "SY", "SD", "CU":
+			default:
+				t.Fatalf("AppEngine instances in %s", row.Country)
+			}
+		}
+	}
+}
+
+func TestBuildProviderRates(t *testing.T) {
+	s, r := top10K(t)
+	tested := map[worldgen.Provider]int{}
+	for _, d := range s.World.Top10K() {
+		for _, p := range d.Providers {
+			if p.IsCDN() {
+				tested[p]++
+			}
+		}
+	}
+	rates := BuildProviderRates(tested, r.Findings)
+	var gae, cf ProviderRates
+	for _, pr := range rates {
+		switch pr.Provider {
+		case worldgen.AppEngine:
+			gae = pr
+		case worldgen.Cloudflare:
+			cf = pr
+		}
+	}
+	if gae.Tested == 0 || cf.Tested == 0 {
+		t.Fatal("provider populations missing")
+	}
+	// §4.2.1: AppEngine has by far the highest per-customer rate
+	// (40.7% vs 3.1%).
+	if gae.Rate() <= cf.Rate() {
+		t.Fatalf("GAE rate %.3f should exceed CF rate %.3f", gae.Rate(), cf.Rate())
+	}
+	if gae.Rate() < 0.15 || gae.Rate() > 0.7 {
+		t.Fatalf("GAE rate %.3f (paper: 0.407)", gae.Rate())
+	}
+}
+
+func TestMedianBlockedPerCountry(t *testing.T) {
+	_, r := top10K(t)
+	med := MedianBlockedPerCountry(r.Findings, r.Countries)
+	// Paper: median 3 at full scale; proportionally lower here, but it
+	// must be small and non-negative.
+	if med < 0 || med > 10 {
+		t.Fatalf("median = %v", med)
+	}
+}
+
+func TestBuildFigures(t *testing.T) {
+	s, r := top10K(t)
+	exp := s.RunConsistencyExperiment(r, 25, 60, []int{1, 3, 20})
+
+	f1 := BuildFigure1(exp)
+	if len(f1) != 3 {
+		t.Fatalf("figure 1 series = %d", len(f1))
+	}
+	for _, series := range f1 {
+		for i := 1; i < len(series.Points); i++ {
+			if series.Points[i].Y < series.Points[i-1].Y {
+				t.Fatal("figure 1 CDF not monotone")
+			}
+		}
+	}
+
+	f2 := BuildFigure2(r)
+	if f2.All.Total() == 0 {
+		t.Fatal("figure 2 empty")
+	}
+	if f2.Blocked.Total() > f2.All.Total() {
+		t.Fatal("blocked subset exceeds all")
+	}
+
+	f3 := BuildFigure3(exp)
+	if len(f3.Points) != 3 {
+		t.Fatalf("figure 3 points = %d", len(f3.Points))
+	}
+	if f3.Points[0].Y < f3.Points[len(f3.Points)-1].Y-1e-9 {
+		t.Fatal("figure 3 should decline with sample size")
+	}
+
+	f4 := BuildFigure4(r)
+	if len(f4.Points) == 0 {
+		t.Fatal("figure 4 empty")
+	}
+
+	ds := cfrules.Synthesize(7, 0.1)
+	f5 := BuildFigure5(ds)
+	if len(f5) != 5 {
+		t.Fatalf("figure 5 series = %d", len(f5))
+	}
+	for _, series := range f5 {
+		last := 0.0
+		for _, p := range series.Points {
+			if p.Y < last {
+				t.Fatalf("figure 5 series %s not cumulative", series.Name)
+			}
+			last = p.Y
+		}
+	}
+}

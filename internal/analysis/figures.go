@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"geoblock/internal/cfrules"
+	"geoblock/internal/geo"
+	"geoblock/internal/pipeline"
+	"geoblock/internal/stats"
+)
+
+// BuildFigure1 produces the Figure 1 CDFs: for each sample size, the
+// distribution over pairs of the per-pair mean block rate. The paper's
+// headline readout is the fraction of pairs under 80% at 20 samples
+// (3.9%).
+func BuildFigure1(exp *pipeline.ConsistencyExperiment) []stats.Series {
+	sizes := append([]int(nil), exp.SampleSizes...)
+	sort.Ints(sizes)
+	var out []stats.Series
+	for _, k := range sizes {
+		rates := exp.RatesBySize[k]
+		if len(rates) == 0 {
+			continue
+		}
+		c := stats.NewCDF(rates...)
+		out = append(out, stats.Series{
+			Name:   fmt.Sprintf("%d samples", k),
+			Points: c.Points(50),
+		})
+	}
+	return out
+}
+
+// Figure2 holds the relative-size distributions: all samples vs the
+// fingerprinted block pages, as normalized histograms over the
+// relative difference (rep−len)/rep.
+type Figure2 struct {
+	All     *stats.Histogram
+	Blocked *stats.Histogram
+}
+
+// BuildFigure2 bins the relative length differences. The x-range spans
+// −0.5 (sample 50% longer than the representative) to 1 (sample of
+// zero length).
+func BuildFigure2(r *pipeline.Top10KResult) Figure2 {
+	f := Figure2{
+		All:     stats.NewHistogram(-0.5, 1.0, 60),
+		Blocked: stats.NewHistogram(-0.5, 1.0, 60),
+	}
+	for _, d := range r.DiffsAll {
+		f.All.Add(d)
+	}
+	for _, d := range r.DiffsBlocked {
+		f.Blocked.Add(d)
+	}
+	return f
+}
+
+// BuildFigure3 produces the false-negative curve: mean miss rate per
+// sample size (paper: 1.7% at 3 samples).
+func BuildFigure3(exp *pipeline.ConsistencyExperiment) stats.Series {
+	sizes := append([]int(nil), exp.SampleSizes...)
+	sort.Ints(sizes)
+	s := stats.Series{Name: "false negative rate"}
+	for _, k := range sizes {
+		s.Points = append(s.Points, stats.Point{X: float64(k), Y: exp.MeanFalseNegative(k)})
+	}
+	return s
+}
+
+// BuildFigure4 produces the CDF of per-pair block-page agreement across
+// the 23 samples of the confirmation flow (the paper eliminates the
+// 11.4% of pairs under 80%).
+func BuildFigure4(r *pipeline.Top10KResult) stats.Series {
+	c := stats.NewCDF(r.AgreementRates...)
+	return stats.Series{Name: "agreement across samples", Points: c.Points(60)}
+}
+
+// BuildFigure5 produces the cumulative Enterprise rule-activation
+// series per sanctioned country (plus Crimea's omission noted in §6 —
+// the snapshot tracks countries only).
+func BuildFigure5(ds *cfrules.Dataset) []stats.Series {
+	days := make([]cfrules.Day, 0, 28)
+	for d := cfrules.Day(0); d <= cfrules.DaySnapshot; d += 50 {
+		days = append(days, d)
+	}
+	days = append(days, cfrules.DaySnapshot)
+	var out []stats.Series
+	for _, cc := range []geo.CountryCode{"KP", "IR", "SY", "SD", "CU"} {
+		counts := ds.CumulativeActivations(cc, days)
+		s := stats.Series{Name: string(cc)}
+		for i, d := range days {
+			s.Points = append(s.Points, stats.Point{X: float64(d), Y: float64(counts[i])})
+		}
+		out = append(out, s)
+	}
+	return out
+}

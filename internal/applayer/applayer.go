@@ -1,0 +1,117 @@
+// Package applayer detects application-layer geographic discrimination
+// — the phenomenon the paper's §7.3 calls "vital to understanding
+// geographic discrimination" but leaves to future work: pages that load
+// fine everywhere while quietly removing features or raising prices for
+// some countries.
+//
+// The detector compares structural observations of the same page
+// fetched from a reference country and a target country: the set of
+// navigation links, region-notice markers, and the machine-readable
+// price. Whole-page diffs are useless (dynamic content differs on every
+// load); structural extraction is robust to it.
+package applayer
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Observation is the structural summary of one page load.
+type Observation struct {
+	// Links is the sorted set of same-site link targets.
+	Links []string
+	// RegionNotices counts "not available in your region" markers.
+	RegionNotices int
+	// Price is the first machine-readable price on the page (NaN-free:
+	// ok reports presence).
+	Price    float64
+	HasPrice bool
+}
+
+// Extract parses the structural features out of an HTML body.
+func Extract(body string) Observation {
+	var o Observation
+	seen := map[string]bool{}
+	for i := 0; i+6 < len(body); {
+		j := strings.Index(body[i:], `href="`)
+		if j < 0 {
+			break
+		}
+		start := i + j + len(`href="`)
+		end := strings.IndexByte(body[start:], '"')
+		if end < 0 {
+			break
+		}
+		target := body[start : start+end]
+		i = start + end
+		// Same-site navigation only.
+		if !strings.HasPrefix(target, "/") || strings.HasPrefix(target, "//") {
+			continue
+		}
+		// Asset links are not features.
+		if strings.HasPrefix(target, "/assets/") || strings.HasPrefix(target, "/static/") {
+			continue
+		}
+		if !seen[target] {
+			seen[target] = true
+			o.Links = append(o.Links, target)
+		}
+	}
+	sort.Strings(o.Links)
+
+	o.RegionNotices = strings.Count(body, `class="region-notice"`)
+
+	if j := strings.Index(body, `data-amount="`); j >= 0 {
+		start := j + len(`data-amount="`)
+		if end := strings.IndexByte(body[start:], '"'); end > 0 {
+			if p, err := strconv.ParseFloat(body[start:start+end], 64); err == nil {
+				o.Price = p
+				o.HasPrice = true
+			}
+		}
+	}
+	return o
+}
+
+// Diff is the structural difference between a reference and a target
+// observation of the same page.
+type Diff struct {
+	// MissingLinks are present at the reference but absent at the
+	// target — removed features.
+	MissingLinks []string
+	// NoticeAdded reports a region notice at the target only.
+	NoticeAdded bool
+	// PriceRatio is target/reference when both carry prices (0 when
+	// either side lacks one).
+	PriceRatio float64
+}
+
+// Compare diffs a target observation against the reference.
+func Compare(ref, target Observation) Diff {
+	var d Diff
+	targetSet := map[string]bool{}
+	for _, l := range target.Links {
+		targetSet[l] = true
+	}
+	for _, l := range ref.Links {
+		if !targetSet[l] {
+			d.MissingLinks = append(d.MissingLinks, l)
+		}
+	}
+	d.NoticeAdded = target.RegionNotices > ref.RegionNotices
+	if ref.HasPrice && target.HasPrice && ref.Price > 0 {
+		d.PriceRatio = target.Price / ref.Price
+	}
+	return d
+}
+
+// Discriminates reports whether the diff shows geographic
+// discrimination: removed features, an added region notice, or a price
+// markup beyond tolerance.
+func (d Diff) Discriminates() bool {
+	if len(d.MissingLinks) > 0 || d.NoticeAdded {
+		return true
+	}
+	return d.PriceRatio > 1.02
+}

@@ -1,0 +1,649 @@
+// Package blockpage holds the HTML the simulated Internet serves when a
+// request is denied: one template per fingerprint class the paper
+// identifies (Table 2), a national-censorship page used by the censor
+// substrate, and the generator for ordinary origin pages.
+//
+// Fidelity matters here: the paper's detection pipeline keys on the
+// distinguishing boilerplate of each provider's page, on whether the
+// page explicitly states a geographic reason, and on page length
+// relative to the blocked site's real page. The templates therefore
+// carry the same signature tokens and comparable lengths to their
+// real-world counterparts, with the request-specific fields (ray IDs,
+// reference numbers, client IPs) varying per response exactly where the
+// real pages vary.
+package blockpage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies one block-page class.
+type Kind int
+
+// The 14 classes of Table 2, in the paper's row order, plus the
+// censorship page and the sentinel KindNone.
+const (
+	KindNone Kind = iota
+	Akamai
+	Cloudflare
+	AppEngine
+	CloudflareCaptcha
+	CloudflareJS
+	CloudFront
+	BaiduCaptcha
+	Baidu
+	Incapsula
+	Soasta
+	Airbnb
+	DistilCaptcha
+	Nginx
+	Varnish
+	Censorship
+	// Legal451 is the RFC 7725 "Unavailable For Legal Reasons" page —
+	// the right way to signal legally mandated denial, which the paper
+	// "only observed ... twice in the course of our experiments" (§2.1).
+	Legal451
+)
+
+// Kinds lists every real block-page class (excluding KindNone and the
+// censorship page) in Table 2 order.
+func Kinds() []Kind {
+	return []Kind{
+		Akamai, Cloudflare, AppEngine, CloudflareCaptcha, CloudflareJS,
+		CloudFront, BaiduCaptcha, Baidu, Incapsula, Soasta, Airbnb,
+		DistilCaptcha, Nginx, Varnish,
+	}
+}
+
+var kindNames = map[Kind]string{
+	KindNone:          "none",
+	Akamai:            "Akamai",
+	Cloudflare:        "Cloudflare",
+	AppEngine:         "AppEngine",
+	CloudflareCaptcha: "Cloudflare Captcha",
+	CloudflareJS:      "Cloudflare JavaScript",
+	CloudFront:        "Amazon CloudFront",
+	BaiduCaptcha:      "Baidu Captcha",
+	Baidu:             "Baidu",
+	Incapsula:         "Incapsula",
+	Soasta:            "Soasta",
+	Airbnb:            "Airbnb",
+	DistilCaptcha:     "Distil Captcha",
+	Nginx:             "nginx",
+	Varnish:           "Varnish",
+	Censorship:        "Censorship",
+	Legal451:          "HTTP 451",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Explicit reports whether the page explicitly attributes the denial to
+// the requester's geographic location. The paper restricts its headline
+// analysis to these five classes (§4.1.3): Cloudflare, Amazon
+// CloudFront, Google App Engine, Baidu, and Airbnb.
+func (k Kind) Explicit() bool {
+	switch k {
+	case Cloudflare, CloudFront, AppEngine, Baidu, Airbnb, Legal451:
+		return true
+	}
+	return false
+}
+
+// Ambiguous reports whether the same page is also served for non-geo
+// reasons (bot detection, other errors), making geoblocking
+// indistinguishable from abuse defenses without resampling (§5.2.2).
+func (k Kind) Ambiguous() bool {
+	switch k {
+	case Akamai, Incapsula, Soasta, Nginx, Varnish:
+		return true
+	}
+	return false
+}
+
+// Challenge reports whether the page is an interactive challenge
+// (captcha or JavaScript) rather than a hard denial.
+func (k Kind) Challenge() bool {
+	switch k {
+	case CloudflareCaptcha, CloudflareJS, BaiduCaptcha, DistilCaptcha:
+		return true
+	}
+	return false
+}
+
+// Status returns the HTTP status code the page is served with.
+func (k Kind) Status() int {
+	switch k {
+	case CloudflareJS:
+		return 503
+	case Censorship:
+		return 403
+	case Legal451:
+		return 451 // RFC 7725
+	case KindNone:
+		return 200
+	default:
+		return 403
+	}
+}
+
+// Vars carries the request-specific fields substituted into a template.
+type Vars struct {
+	Domain      string // blocked site, e.g. "example.com"
+	Path        string // requested path, default "/"
+	ClientIP    string // requester's address as the edge saw it
+	CountryName string // geolocated country, e.g. "Iran"
+	RayID       string // Cloudflare ray / Akamai reference / request ID
+	Nonce       string // short random token for challenge forms
+}
+
+func (v Vars) path() string {
+	if v.Path == "" {
+		return "/"
+	}
+	return v.Path
+}
+
+// Render produces the HTML body for kind with vars substituted.
+func Render(k Kind, v Vars) string {
+	switch k {
+	case Akamai:
+		return renderAkamai(v)
+	case Cloudflare:
+		return renderCloudflare(v)
+	case AppEngine:
+		return renderAppEngine(v)
+	case CloudflareCaptcha:
+		return renderCloudflareCaptcha(v)
+	case CloudflareJS:
+		return renderCloudflareJS(v)
+	case CloudFront:
+		return renderCloudFront(v)
+	case BaiduCaptcha:
+		return renderBaiduCaptcha(v)
+	case Baidu:
+		return renderBaidu(v)
+	case Incapsula:
+		return renderIncapsula(v)
+	case Soasta:
+		return renderSoasta(v)
+	case Airbnb:
+		return renderAirbnb(v)
+	case DistilCaptcha:
+		return renderDistil(v)
+	case Nginx:
+		return renderNginx(v)
+	case Varnish:
+		return renderVarnish(v)
+	case Censorship:
+		return renderCensorship(v)
+	case Legal451:
+		return renderLegal451(v)
+	}
+	panic(fmt.Sprintf("blockpage: Render of %v", k))
+}
+
+func renderAkamai(v Vars) string {
+	// Akamai serves the same terse page for geo rules, bot detection
+	// and other edge denials — the ambiguity at the heart of §3.1.
+	return fmt.Sprintf(`<HTML><HEAD>
+<TITLE>Access Denied</TITLE>
+</HEAD><BODY>
+<H1>Access Denied</H1>
+
+You don't have permission to access "http&#58;&#47;&#47;%s%s" on this server.<P>
+Reference&#32;&#35;18&#46;%s
+</BODY>
+</HTML>
+`, v.Domain, v.path(), v.RayID)
+}
+
+func renderCloudflare(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html lang="en-US">
+<head>
+<title>Access denied | %s used Cloudflare to restrict access</title>
+<meta charset="UTF-8" />
+<meta name="robots" content="noindex, nofollow" />
+<link rel="stylesheet" id="cf_styles-css" href="/cdn-cgi/styles/cf.errors.css" type="text/css" />
+</head>
+<body>
+<div id="cf-wrapper">
+  <div id="cf-error-details" class="cf-error-details-wrapper">
+    <div class="cf-wrapper cf-header cf-error-overview">
+      <h1><span class="cf-error-type" data-translate="error">Error</span>
+      <span class="cf-error-code">1009</span></h1>
+      <h2 class="cf-subheadline" data-translate="error_desc">Access denied</h2>
+    </div>
+    <div class="cf-section cf-wrapper">
+      <div class="cf-columns two">
+        <div class="cf-column">
+          <h2 data-translate="what_happened">What happened?</h2>
+          <p>The owner of this website (%s) has banned the country or region your IP address is in (%s) from accessing this website.</p>
+        </div>
+      </div>
+    </div>
+    <div class="cf-error-footer cf-wrapper">
+      <p>
+        <span class="cf-footer-item">Cloudflare Ray ID: <strong>%s</strong></span>
+        <span class="cf-footer-separator">&bull;</span>
+        <span class="cf-footer-item">Your IP: %s</span>
+        <span class="cf-footer-separator">&bull;</span>
+        <span class="cf-footer-item"><span>Performance &amp; security by</span> Cloudflare</span>
+      </p>
+    </div>
+  </div>
+</div>
+</body>
+</html>
+`, v.Domain, v.Domain, v.CountryName, v.RayID, v.ClientIP)
+}
+
+func renderAppEngine(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html lang=en>
+<meta charset=utf-8>
+<title>Error 403 (Forbidden)!!1</title>
+<style>*{margin:0;padding:0}html,code{font:15px/22px arial,sans-serif}</style>
+<a href=//www.google.com/><span id=logo aria-label=Google></span></a>
+<p><b>403.</b> <ins>That's an error.</ins>
+<p>We're sorry, but this service is not available in your country.
+App Engine applications cannot be accessed from the country or region
+your request originated from (%s). <ins>That's all we know.</ins>
+<p>Requested URL: http://%s%s
+`, v.CountryName, v.Domain, v.path())
+}
+
+func renderCloudflareCaptcha(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html lang="en-US">
+<head>
+<title>Attention Required! | Cloudflare</title>
+<meta charset="UTF-8" />
+<meta name="robots" content="noindex, nofollow" />
+<link rel="stylesheet" id="cf_styles-css" href="/cdn-cgi/styles/cf.errors.css" type="text/css" />
+</head>
+<body>
+<div id="cf-wrapper">
+  <div class="cf-alert cf-alert-error cf-cookie-error" id="cookie-alert" data-translate="enable_cookies">Please enable cookies.</div>
+  <div id="cf-error-details" class="cf-error-details-wrapper">
+    <div class="cf-wrapper cf-header cf-error-overview">
+      <h1 data-translate="challenge_headline">One more step</h1>
+      <h2 class="cf-subheadline"><span data-translate="complete_sec_check">Please complete the security check to access</span> %s</h2>
+    </div>
+    <div class="cf-section cf-highlight cf-captcha-container">
+      <div class="cf-wrapper">
+        <form class="challenge-form" id="challenge-form" action="/cdn-cgi/l/chk_captcha" method="get">
+          <script type="text/javascript" src="/cdn-cgi/scripts/cf.challenge.js" data-type="normal" data-ray="%s" async defer></script>
+          <noscript id="cf-captcha-bookmark" class="cf-captcha-info">
+            <div><input type="hidden" name="id" value="%s"></div>
+            <div class="g-recaptcha"></div>
+          </noscript>
+        </form>
+      </div>
+    </div>
+    <div class="cf-section cf-wrapper">
+      <div class="cf-columns two">
+        <div class="cf-column">
+          <h2 data-translate="why_captcha_headline">Why do I have to complete a CAPTCHA?</h2>
+          <p data-translate="why_captcha_detail">Completing the CAPTCHA proves you are a human and gives you temporary access to the web property.</p>
+        </div>
+        <div class="cf-column">
+          <h2 data-translate="resolve_captcha_headline">What can I do to prevent this in the future?</h2>
+          <p data-translate="resolve_captcha_antivirus">If you are on a personal connection, like at home, you can run an anti-virus scan on your device to make sure it is not infected with malware.</p>
+          <p data-translate="resolve_captcha_network">If you are at an office or shared network, you can ask the network administrator to run a scan across the network looking for misconfigured or infected devices.</p>
+        </div>
+      </div>
+    </div>
+    <div class="cf-error-footer cf-wrapper">
+      <p>
+        <span class="cf-footer-item">Cloudflare Ray ID: <strong>%s</strong></span>
+        <span class="cf-footer-separator">&bull;</span>
+        <span class="cf-footer-item">Your IP: %s</span>
+        <span class="cf-footer-separator">&bull;</span>
+        <span class="cf-footer-item"><span>Performance &amp; security by</span> Cloudflare</span>
+      </p>
+    </div>
+  </div>
+</div>
+</body>
+</html>
+`, v.Domain, v.RayID, v.Nonce, v.RayID, v.ClientIP)
+}
+
+func renderCloudflareJS(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE HTML>
+<html lang="en-US">
+<head>
+<meta charset="UTF-8" />
+<meta http-equiv="refresh" content="8" />
+<title>Just a moment...</title>
+<style type="text/css">body{background-color:#ffffff;font-family:Helvetica,Arial,sans-serif}</style>
+</head>
+<body>
+<table width="100%%" height="100%%" cellpadding="20">
+<tr><td align="center" valign="middle">
+  <div class="cf-browser-verification cf-im-under-attack">
+    <noscript><h1 data-translate="turn_on_js" style="color:#bd2426;">Please turn JavaScript on and reload the page.</h1></noscript>
+    <div id="cf-content" style="display:none">
+      <h1><span data-translate="checking_browser">Checking your browser before accessing</span> %s.</h1>
+      <p data-translate="process_is_automatic">This process is automatic. Your browser will redirect to your requested content shortly.</p>
+      <p data-translate="allow_5_secs">Please allow up to 5 seconds&hellip;</p>
+    </div>
+    <form id="challenge-form" action="/cdn-cgi/l/chk_jschl" method="get">
+      <input type="hidden" name="jschl_vc" value="%s"/>
+      <input type="hidden" name="pass" value="%s"/>
+      <input type="hidden" id="jschl-answer" name="jschl_answer"/>
+    </form>
+    <script type="text/javascript">
+      (function(){var a=function(){try{return !!window.addEventListener}catch(e){return !1}};
+      var t,r,a,f,%s={"%s":+(+!![]+[])};</script>
+  </div>
+  <div class="attribution">DDoS protection by Cloudflare<br/>Ray ID: %s</div>
+</td></tr>
+</table>
+</body>
+</html>
+`, v.Domain, v.Nonce, v.Nonce, "kJwqyDRp", v.Nonce, v.RayID)
+}
+
+func renderCloudFront(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01 Transitional//EN" "http://www.w3.org/TR/html4/loose.dtd">
+<HTML><HEAD><META HTTP-EQUIV="Content-Type" CONTENT="text/html; charset=iso-8859-1">
+<TITLE>ERROR: The request could not be satisfied</TITLE>
+</HEAD><BODY>
+<H1>403 ERROR</H1>
+<H2>The request could not be satisfied.</H2>
+<HR noshade size="1px">
+The Amazon CloudFront distribution is configured to block access from your country.
+We can't connect to the server for this app or website at this time. There might be
+too much traffic or a configuration error. Try again later, or contact the app or
+website owner.
+<BR clear="all">
+If you provide content to customers through CloudFront, you can find steps to
+troubleshoot and help prevent this error by reviewing the CloudFront documentation.
+<BR clear="all">
+<HR noshade size="1px">
+<PRE>
+Generated by cloudfront (CloudFront)
+Request ID: %s
+</PRE>
+<ADDRESS>
+</ADDRESS>
+</BODY></HTML>
+`, v.RayID)
+}
+
+func renderBaidu(v Vars) string {
+	// Baidu Yunjiasu's block page is nearly identical to Cloudflare's in
+	// content (the paper notes this, §4.2.2).
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html lang="zh-CN">
+<head>
+<title>Access denied | %s used Yunjiasu to restrict access</title>
+<meta charset="UTF-8" />
+<meta name="robots" content="noindex, nofollow" />
+<link rel="stylesheet" href="/cdn-cgi/styles/yunjiasu.errors.css" type="text/css" />
+</head>
+<body>
+<div id="yjs-wrapper">
+  <div id="yjs-error-details">
+    <div class="yjs-header">
+      <h1><span class="yjs-error-type">Error</span> <span class="yjs-error-code">1009</span></h1>
+      <h2 class="yjs-subheadline">Access denied</h2>
+    </div>
+    <div class="yjs-section">
+      <p>The owner of this website (%s) has banned the country or region your IP address is in (%s) from accessing this website.</p>
+    </div>
+    <div class="yjs-error-footer">
+      <p><span>Baidu Yunjiasu Ray ID: <strong>%s</strong></span> &bull; <span>Your IP: %s</span> &bull; <span>Security by Baidu Yunjiasu</span></p>
+    </div>
+  </div>
+</div>
+</body>
+</html>
+`, v.Domain, v.Domain, v.CountryName, v.RayID, v.ClientIP)
+}
+
+func renderBaiduCaptcha(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html lang="zh-CN">
+<head>
+<title>安全验证 | Baidu Yunjiasu</title>
+<meta charset="UTF-8" />
+<meta name="robots" content="noindex, nofollow" />
+</head>
+<body>
+<div id="yjs-captcha">
+  <h1>One more step: please complete the security verification to access %s</h1>
+  <form class="challenge-form" action="/cdn-cgi/l/chk_captcha" method="get">
+    <input type="hidden" name="id" value="%s">
+    <div class="yjs-recaptcha" data-ray="%s"></div>
+    <p>请完成安全验证后继续访问。 Please complete the verification below to continue.</p>
+  </form>
+  <div class="yjs-footer">Baidu Yunjiasu Ray ID: %s &bull; Your IP: %s</div>
+</div>
+</body>
+</html>
+`, v.Domain, v.Nonce, v.RayID, v.RayID, v.ClientIP)
+}
+
+func renderIncapsula(v Vars) string {
+	// Incapsula serves a small iframe wrapper naming an internal
+	// resource; like Akamai the identical page covers many deny reasons.
+	return fmt.Sprintf(`<html style="height:100%%"><head><META NAME="ROBOTS" CONTENT="NOINDEX, NOFOLLOW"><meta name="format-detection" content="telephone=no"><meta name="viewport" content="initial-scale=1.0"><meta http-equiv="X-UA-Compatible" content="IE=edge,chrome=1"></head>
+<body style="margin:0px;height:100%%"><iframe src="/_Incapsula_Resource?CWUDNSAI=9&xinfo=%s&incident_id=%s&edet=12&cinfo=04000000" frameborder=0 width="100%%" height="100%%" marginheight="0px" marginwidth="0px">Request unsuccessful. Incapsula incident ID: %s</iframe></body></html>
+`, v.Nonce, v.RayID, v.RayID)
+}
+
+func renderSoasta(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html>
+<head><title>Access Denied</title></head>
+<body>
+<h1>Access Denied</h1>
+<p>Your request to %s%s was denied by the site's security policy.</p>
+<p>If you believe this is an error, contact the site operator and provide
+the incident identifier below.</p>
+<p>Incident ID: SOASTA-%s</p>
+<p><small>Protected by SOASTA mPulse edge services.</small></p>
+</body>
+</html>
+`, v.Domain, v.path(), v.RayID)
+}
+
+func renderAirbnb(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<title>Airbnb: Not available in your region</title>
+<meta charset="utf-8">
+</head>
+<body>
+<div class="container">
+  <h1>Sorry!</h1>
+  <p>Airbnb is not available in your region.</p>
+  <p>Due to trade and export restrictions, Airbnb does not serve its
+  website to users located in Crimea, Iran, Syria, and North Korea.</p>
+  <p>We apologize for the inconvenience. If you believe you are seeing
+  this message in error, please contact us and reference request
+  %s from %s.</p>
+</div>
+</body>
+</html>
+`, v.RayID, v.ClientIP)
+}
+
+func renderDistil(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<title>Pardon Our Interruption</title>
+<meta charset="utf-8">
+<link rel="stylesheet" type="text/css" href="/distil_files/interstitial.css">
+</head>
+<body>
+<div class="interstitial">
+  <h1>Pardon Our Interruption...</h1>
+  <p>As you were browsing <strong>%s</strong> something about your browser
+  made us think you were a bot. There are a few reasons this might happen:</p>
+  <ul>
+    <li>You're a power user moving through this website with super-human speed.</li>
+    <li>You've disabled JavaScript in your web browser.</li>
+    <li>A third-party browser plugin, such as Ghostery or NoScript, is preventing JavaScript from running.</li>
+  </ul>
+  <p>After completing the CAPTCHA below, you will immediately regain access to %s.</p>
+  <form method="POST" action="/distil_r_captcha.html">
+    <input type="hidden" name="P" value="%s">
+    <div class="g-recaptcha" data-sitekey="%s"></div>
+  </form>
+  <p class="ref">Reference ID: #%s</p>
+</div>
+</body>
+</html>
+`, v.Domain, v.Domain, v.Nonce, v.Nonce, v.RayID)
+}
+
+func renderNginx(Vars) string {
+	return `<html>
+<head><title>403 Forbidden</title></head>
+<body bgcolor="white">
+<center><h1>403 Forbidden</h1></center>
+<hr><center>nginx</center>
+</body>
+</html>
+`
+}
+
+func renderVarnish(v Vars) string {
+	return fmt.Sprintf(`<?xml version="1.0" encoding="utf-8"?>
+<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0 Strict//EN" "http://www.w3.org/TR/xhtml1/DTD/xhtml1-strict.dtd">
+<html>
+  <head>
+    <title>403 Forbidden</title>
+  </head>
+  <body>
+    <h1>Error 403 Forbidden</h1>
+    <p>Forbidden</p>
+    <h3>Guru Meditation:</h3>
+    <p>XID: %s</p>
+    <hr>
+    <p>Varnish cache server</p>
+  </body>
+</html>
+`, v.RayID)
+}
+
+func renderCensorship(v Vars) string {
+	// A generic national filtering page in the style documented for
+	// state censorship (an iframe to a government portal). Deliberately
+	// distinct from every CDN page: the pipeline must not confuse the
+	// two phenomena.
+	return fmt.Sprintf(`<html><head><meta http-equiv="Content-Type" content="text/html; charset=windows-1256"><title>M%s</title></head><body><iframe src="http://10.10.34.34?type=Invalid Site&policy=MainPolicy" style="width: 100%%; height: 100%%" scrolling="no" marginwidth="0" marginheight="0" frameborder="0" vspace="0" hspace="0"></iframe></body></html>
+`, v.Nonce)
+}
+
+func renderLegal451(v Vars) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html lang="en">
+<head><title>Unavailable For Legal Reasons</title><meta charset="utf-8"></head>
+<body>
+<h1>451 Unavailable For Legal Reasons</h1>
+<p>Access to %s from your region (%s) has been restricted in
+compliance with applicable trade regulations and legal obligations.</p>
+<p>This block is required by law and is not at the discretion of the
+site operator. Reference: %s.</p>
+</body>
+</html>
+`, v.Domain, v.CountryName, v.RayID)
+}
+
+// Signature returns a substring that uniquely identifies kind among all
+// templates; the fingerprint package builds its matchers from these.
+func Signature(k Kind) string {
+	switch k {
+	case Akamai:
+		return `You don't have permission to access "http&#58;`
+	case Cloudflare:
+		return "has banned the country or region your IP address is in"
+	case AppEngine:
+		return "this service is not available in your country"
+	case CloudflareCaptcha:
+		return "Please complete the security check to access"
+	case CloudflareJS:
+		return "Checking your browser before accessing"
+	case CloudFront:
+		return "The Amazon CloudFront distribution is configured to block access from your country"
+	case BaiduCaptcha:
+		return "please complete the security verification to access"
+	case Baidu:
+		return "used Yunjiasu to restrict access"
+	case Incapsula:
+		return "Incapsula incident ID"
+	case Soasta:
+		return "Protected by SOASTA mPulse edge services"
+	case Airbnb:
+		return "Airbnb is not available in your region"
+	case DistilCaptcha:
+		return "something about your browser\n  made us think you were a bot"
+	case Nginx:
+		return "<center><h1>403 Forbidden</h1></center>\n<hr><center>nginx</center>"
+	case Varnish:
+		return "Varnish cache server"
+	case Censorship:
+		return `10.10.34.34?type=Invalid Site`
+	case Legal451:
+		return "451 Unavailable For Legal Reasons"
+	}
+	panic(fmt.Sprintf("blockpage: Signature of %v", k))
+}
+
+// DisambiguatingTokens lists extra substrings that, together with
+// Signature, lower false positives on short generic pages: all must be
+// present for a confident match.
+func DisambiguatingTokens(k Kind) []string {
+	switch k {
+	case Cloudflare:
+		return []string{"Cloudflare Ray ID:", "error_desc"}
+	case Baidu:
+		return []string{"Baidu Yunjiasu Ray ID:"}
+	case CloudflareCaptcha:
+		return []string{"Cloudflare Ray ID:", "chk_captcha"}
+	case CloudflareJS:
+		return []string{"jschl_vc", "Just a moment..."}
+	case Akamai:
+		return []string{"Reference&#32;&#35;18&#46;"}
+	case Nginx:
+		return []string{"<title>403 Forbidden</title>"}
+	default:
+		return nil
+	}
+}
+
+// normalizeWhitespace collapses runs of whitespace so signature checks
+// tolerate harmless reformatting.
+func normalizeWhitespace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Matches reports whether body is an instance of kind's template. It is
+// the ground-truth matcher used by tests and by the simulated "manual
+// verification" step; the production classifier lives in the
+// fingerprint package and is evaluated against this.
+func Matches(k Kind, body string) bool {
+	nb := normalizeWhitespace(body)
+	if !strings.Contains(nb, normalizeWhitespace(Signature(k))) {
+		return false
+	}
+	for _, tok := range DisambiguatingTokens(k) {
+		if !strings.Contains(nb, normalizeWhitespace(tok)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,277 @@
+package cdn
+
+import (
+	"testing"
+
+	"geoblock/internal/blockpage"
+	"geoblock/internal/geo"
+	"geoblock/internal/stats"
+	"geoblock/internal/worldgen"
+)
+
+// synthetic builds a bare domain with the given chain and rules,
+// bypassing the generator so every branch of the edge is reachable.
+func synthetic(name string, chain []worldgen.Provider, mutate func(*worldgen.Domain)) *worldgen.Domain {
+	d := &worldgen.Domain{
+		Name:      name,
+		Rank:      1,
+		TLD:       "com",
+		Providers: chain,
+		Origin:    blockpage.NewOriginSite(name, stats.NewRNG(1)),
+		GeoRules:  map[worldgen.Provider]*worldgen.GeoRule{},
+	}
+	if mutate != nil {
+		mutate(d)
+	}
+	return d
+}
+
+func serveSyn(t *testing.T, d *worldgen.Domain, cc geo.CountryCode, h map[string]string) Response {
+	t.Helper()
+	ip, err := testWorld.Geo.HostIP(cc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Domain: d, Host: d.Name, Path: "/", Method: "GET", Scheme: "https",
+		ClientIP: ip, Header: browserHeaders(), SampleSeed: 1}
+	for k, v := range h {
+		req.Header.Set(k, v)
+	}
+	return Serve(testWorld, req)
+}
+
+func TestBlockKindPerProvider(t *testing.T) {
+	rule := func() *worldgen.GeoRule {
+		return &worldgen.GeoRule{
+			Action:    worldgen.ActionBlock,
+			Countries: map[geo.CountryCode]bool{"CH": true},
+		}
+	}
+	cases := []struct {
+		prov worldgen.Provider
+		want blockpage.Kind
+	}{
+		{worldgen.Cloudflare, blockpage.Cloudflare},
+		{worldgen.Akamai, blockpage.Akamai},
+		{worldgen.CloudFront, blockpage.CloudFront},
+		{worldgen.AppEngine, blockpage.AppEngine},
+		{worldgen.Incapsula, blockpage.Incapsula},
+		{worldgen.Baidu, blockpage.Baidu},
+		{worldgen.Soasta, blockpage.Soasta},
+		{worldgen.OriginNginx, blockpage.Nginx},
+		{worldgen.OriginVarnish, blockpage.Varnish},
+		{worldgen.OriginApache, blockpage.Nginx}, // fallthrough default
+	}
+	for _, tc := range cases {
+		d := synthetic("blk.example", []worldgen.Provider{tc.prov}, func(d *worldgen.Domain) {
+			d.GeoRules[tc.prov] = rule()
+		})
+		// Switzerland is not subject to edge GeoIP confusion with any
+		// sanctioned neighbor; a single serve suffices but smooth over
+		// the sticky misgeo anyway by checking ground truth.
+		r := serveSyn(t, d, "CH", nil)
+		if r.Page != tc.want {
+			t.Errorf("%s block page = %v, want %v", tc.prov, r.Page, tc.want)
+		}
+		if r.Status != tc.want.Status() {
+			t.Errorf("%s status = %d", tc.prov, r.Status)
+		}
+	}
+}
+
+func TestCaptchaKindPerProvider(t *testing.T) {
+	rule := func(a worldgen.Action) *worldgen.GeoRule {
+		return &worldgen.GeoRule{Action: a, Countries: map[geo.CountryCode]bool{"CH": true}}
+	}
+	// Cloudflare captcha.
+	d := synthetic("cap.example", []worldgen.Provider{worldgen.Cloudflare}, func(d *worldgen.Domain) {
+		d.GeoRules[worldgen.Cloudflare] = rule(worldgen.ActionCaptcha)
+	})
+	if r := serveSyn(t, d, "CH", nil); r.Page != blockpage.CloudflareCaptcha {
+		t.Errorf("CF captcha = %v", r.Page)
+	}
+	// Baidu captcha.
+	d = synthetic("cap2.example", []worldgen.Provider{worldgen.Baidu}, func(d *worldgen.Domain) {
+		d.GeoRules[worldgen.Baidu] = rule(worldgen.ActionCaptcha)
+	})
+	if r := serveSyn(t, d, "CH", nil); r.Page != blockpage.BaiduCaptcha {
+		t.Errorf("Baidu captcha = %v", r.Page)
+	}
+	// Other providers challenge through Distil.
+	d = synthetic("cap3.example", []worldgen.Provider{worldgen.Akamai}, func(d *worldgen.Domain) {
+		d.GeoRules[worldgen.Akamai] = rule(worldgen.ActionCaptcha)
+	})
+	if r := serveSyn(t, d, "CH", nil); r.Page != blockpage.DistilCaptcha {
+		t.Errorf("generic captcha = %v", r.Page)
+	}
+	// Distil-protected domains always use Distil's interstitial.
+	d = synthetic("cap4.example", []worldgen.Provider{worldgen.Cloudflare}, func(d *worldgen.Domain) {
+		d.DistilProtected = true
+		d.GeoRules[worldgen.Cloudflare] = rule(worldgen.ActionCaptcha)
+	})
+	if r := serveSyn(t, d, "CH", nil); r.Page != blockpage.DistilCaptcha {
+		t.Errorf("distil overlay = %v", r.Page)
+	}
+	// JS challenge.
+	d = synthetic("js.example", []worldgen.Provider{worldgen.Cloudflare}, func(d *worldgen.Domain) {
+		d.GeoRules[worldgen.Cloudflare] = rule(worldgen.ActionJS)
+	})
+	if r := serveSyn(t, d, "CH", nil); r.Page != blockpage.CloudflareJS || r.Status != 503 {
+		t.Errorf("JS challenge = %v/%d", r.Page, r.Status)
+	}
+}
+
+func TestProxyBlacklistKinds(t *testing.T) {
+	exit, err := testWorld.Geo.ProxyExitIP("CH", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := func(d *worldgen.Domain) Response {
+		return Serve(testWorld, Request{Domain: d, Host: d.Name, Path: "/", Method: "GET",
+			Scheme: "https", ClientIP: exit, Header: browserHeaders(), SampleSeed: 2})
+	}
+	cases := []struct {
+		chain  []worldgen.Provider
+		distil bool
+		want   blockpage.Kind
+	}{
+		{[]worldgen.Provider{worldgen.Akamai}, false, blockpage.Akamai},
+		{[]worldgen.Provider{worldgen.Incapsula}, false, blockpage.Incapsula},
+		{[]worldgen.Provider{worldgen.OriginVarnish}, false, blockpage.Varnish},
+		{[]worldgen.Provider{worldgen.OriginNginx}, false, blockpage.Nginx},
+		{[]worldgen.Provider{worldgen.OriginApache}, false, blockpage.Nginx},
+		{[]worldgen.Provider{worldgen.Akamai}, true, blockpage.DistilCaptcha},
+	}
+	for _, tc := range cases {
+		d := synthetic("pxy.example", tc.chain, func(d *worldgen.Domain) {
+			d.BlocksProxies = true
+			d.DistilProtected = tc.distil
+		})
+		if r := serve(d); r.Page != tc.want {
+			t.Errorf("chain %v distil=%v: page = %v, want %v", tc.chain, tc.distil, r.Page, tc.want)
+		}
+	}
+}
+
+func TestReputationStickyPerIP(t *testing.T) {
+	d := synthetic("rep.example", []worldgen.Provider{worldgen.Akamai}, func(d *worldgen.Domain) {
+		d.ReputationSensitivity = 0.9
+	})
+	ip, _ := testWorld.Geo.HostIP("IR", 5)
+	first := Serve(testWorld, Request{Domain: d, Host: d.Name, Path: "/", Method: "GET",
+		Scheme: "https", ClientIP: ip, Header: browserHeaders(), SampleSeed: 0}).Page
+	for seed := uint64(1); seed < 10; seed++ {
+		got := Serve(testWorld, Request{Domain: d, Host: d.Name, Path: "/", Method: "GET",
+			Scheme: "https", ClientIP: ip, Header: browserHeaders(), SampleSeed: seed}).Page
+		if got != first {
+			t.Fatalf("reputation verdict flipped between requests: %v then %v", first, got)
+		}
+	}
+}
+
+func TestResidentialChallengeNoise(t *testing.T) {
+	d := synthetic("noise.example", []worldgen.Provider{worldgen.Cloudflare}, func(d *worldgen.Domain) {
+		d.ResidentialChallengeRate = 1.0 // always challenge
+	})
+	r := serveSyn(t, d, "CH", nil)
+	if r.Page != blockpage.CloudflareCaptcha {
+		t.Fatalf("CF residential challenge = %v", r.Page)
+	}
+	d = synthetic("noise2.example", []worldgen.Provider{worldgen.OriginNginx}, func(d *worldgen.Domain) {
+		d.ResidentialChallengeRate = 1.0
+	})
+	if r := serveSyn(t, d, "CH", nil); r.Page != blockpage.DistilCaptcha {
+		t.Fatalf("non-CF residential challenge = %v", r.Page)
+	}
+}
+
+func TestAppLayerVariantServed(t *testing.T) {
+	d := synthetic("app.example", []worldgen.Provider{worldgen.OriginNginx}, func(d *worldgen.Domain) {
+		d.AppLayer = &worldgen.AppLayerPolicy{
+			RestrictedIn: map[geo.CountryCode]bool{"IR": true},
+			PriceMarkup:  map[geo.CountryCode]float64{"BR": 1.5},
+		}
+	})
+	restricted := serveSyn(t, d, "IR", nil)
+	if restricted.Status != 200 {
+		t.Fatalf("restricted variant status %d", restricted.Status)
+	}
+	if body := restricted.Body(); !containsFold(body, "not available in your region") {
+		t.Fatal("restricted variant missing notice")
+	}
+	plain := serveSyn(t, d, "CH", nil)
+	if body := plain.Body(); !containsFold(body, `href="/checkout"`) {
+		t.Fatal("plain variant missing checkout")
+	}
+	if restricted.BodyLen == plain.BodyLen {
+		t.Log("variant lengths equal (possible but unlikely)")
+	}
+}
+
+func TestJunkPageServed(t *testing.T) {
+	d := synthetic("junky.example", []worldgen.Provider{worldgen.OriginNginx}, func(d *worldgen.Domain) {
+		d.JunkRate = 1.0
+	})
+	r := serveSyn(t, d, "CH", nil)
+	if r.Status != 200 {
+		t.Fatalf("junk page status %d", r.Status)
+	}
+	if r.BodyLen > 4000 {
+		t.Fatalf("junk page suspiciously long: %d", r.BodyLen)
+	}
+	if len(r.Body()) != r.BodyLen {
+		t.Fatal("junk Content-Length mismatch")
+	}
+}
+
+func TestHeadersOnDualChain(t *testing.T) {
+	d := synthetic("dual.example", []worldgen.Provider{worldgen.Incapsula, worldgen.Akamai}, nil)
+	r := serveSyn(t, d, "CH", map[string]string{"Pragma": "akamai-x-cache-on"})
+	if r.Header.Get("X-Iinfo") == "" {
+		t.Fatal("Incapsula header missing on dual chain")
+	}
+	if r.Header.Get("X-Check-Cacheable") != "YES" {
+		t.Fatal("Akamai debug headers missing on dual chain")
+	}
+}
+
+func TestUnallocatedClientIP(t *testing.T) {
+	d := synthetic("noloc.example", []worldgen.Provider{worldgen.Cloudflare}, func(d *worldgen.Domain) {
+		d.GeoRules[worldgen.Cloudflare] = &worldgen.GeoRule{
+			Action: worldgen.ActionBlock, Countries: map[geo.CountryCode]bool{"IR": true},
+		}
+	})
+	// A bogon source has no location: rules must not fire.
+	r := Serve(testWorld, Request{Domain: d, Host: d.Name, Path: "/", Method: "GET",
+		Scheme: "https", ClientIP: 0x01000000, Header: browserHeaders(), SampleSeed: 1})
+	if r.Page != blockpage.KindNone {
+		t.Fatalf("bogon client blocked: %v", r.Page)
+	}
+}
+
+func TestLegal451Served(t *testing.T) {
+	d, ok := testWorld.Lookup("lexpublica.com")
+	if !ok {
+		t.Fatal("cameo missing")
+	}
+	crimea := testWorld.Geo.CrimeaHostIP(7)
+	counts := map[blockpage.Kind]int{}
+	for seed := uint64(0); seed < 9; seed++ {
+		r := Serve(testWorld, Request{Domain: d, Host: d.Name, Path: "/", Method: "GET",
+			Scheme: "https", ClientIP: crimea, Header: browserHeaders(), SampleSeed: seed})
+		counts[r.Page]++
+		if r.Page == blockpage.Legal451 && r.Status != 451 {
+			t.Fatalf("451 page served with status %d", r.Status)
+		}
+	}
+	if counts[blockpage.Legal451] < 5 {
+		t.Fatalf("Crimean client should majority-see the 451 page: %v", counts)
+	}
+	// Mainland Ukraine gets the real page.
+	ua, _ := testWorld.Geo.HostIP("UA", 7)
+	r := Serve(testWorld, Request{Domain: d, Host: d.Name, Path: "/", Method: "GET",
+		Scheme: "https", ClientIP: ua, Header: browserHeaders(), SampleSeed: 1})
+	if r.Status == 451 {
+		t.Fatal("mainland Ukraine must not see the 451")
+	}
+}

@@ -1,0 +1,92 @@
+package censor
+
+import (
+	"testing"
+
+	"geoblock/internal/geo"
+	"geoblock/internal/worldgen"
+)
+
+func TestCheckNoneForUncensored(t *testing.T) {
+	d := &worldgen.Domain{Name: "free.example.com"}
+	if got := Check(d, geo.Location{Country: "CN"}); got != None {
+		t.Fatalf("uncensored domain got %v", got)
+	}
+	if got := Check(nil, geo.Location{Country: "CN"}); got != None {
+		t.Fatalf("nil domain got %v", got)
+	}
+}
+
+func TestCheckOnlyInCensoringCountry(t *testing.T) {
+	d := &worldgen.Domain{
+		Name:       "banned.example.com",
+		CensoredIn: map[geo.CountryCode]bool{"IR": true},
+	}
+	if got := Check(d, geo.Location{Country: "IR"}); got == None {
+		t.Fatal("censored domain should be disrupted in Iran")
+	}
+	if got := Check(d, geo.Location{Country: "US"}); got != None {
+		t.Fatalf("domain disrupted outside censoring country: %v", got)
+	}
+}
+
+func TestMechanismStablePerPair(t *testing.T) {
+	d := &worldgen.Domain{
+		Name:       "stable.example.com",
+		CensoredIn: map[geo.CountryCode]bool{"CN": true, "IR": true},
+	}
+	first := Check(d, geo.Location{Country: "CN"})
+	for i := 0; i < 50; i++ {
+		if got := Check(d, geo.Location{Country: "CN"}); got != first {
+			t.Fatal("mechanism flipped between probes")
+		}
+	}
+}
+
+func TestMechanismMixFollowsProfile(t *testing.T) {
+	// Across many domains, Iran should be blockpage-heavy and China
+	// RST/DNS-heavy.
+	irCounts := map[Mechanism]int{}
+	cnCounts := map[Mechanism]int{}
+	for i := 0; i < 500; i++ {
+		d := &worldgen.Domain{
+			Name:       "site-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i%7)) + ".example",
+			CensoredIn: map[geo.CountryCode]bool{"CN": true, "IR": true},
+		}
+		irCounts[Check(d, geo.Location{Country: "IR"})]++
+		cnCounts[Check(d, geo.Location{Country: "CN"})]++
+	}
+	if irCounts[BlockPage] < irCounts[RST]+irCounts[DNSPoison] {
+		t.Fatalf("Iran should be blockpage-heavy: %v", irCounts)
+	}
+	if cnCounts[RST]+cnCounts[DNSPoison] < cnCounts[BlockPage] {
+		t.Fatalf("China should be RST/DNS-heavy: %v", cnCounts)
+	}
+}
+
+func TestCensorsAnything(t *testing.T) {
+	if !CensorsAnything("CN") || !CensorsAnything("IR") {
+		t.Fatal("known censors missing")
+	}
+	if CensorsAnything("CH") || CensorsAnything("NZ") {
+		t.Fatal("non-censors flagged")
+	}
+}
+
+func TestCensorCountriesMatchWorldgen(t *testing.T) {
+	for _, cc := range worldgen.CensorCountries() {
+		if !CensorsAnything(cc) {
+			t.Errorf("worldgen censors %s but censor package has no profile", cc)
+		}
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	for m, want := range map[Mechanism]string{
+		None: "none", RST: "rst", DNSPoison: "dns", BlockPage: "blockpage", Timeout: "timeout",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package cfrules
+
+import (
+	"math"
+	"testing"
+
+	"geoblock/internal/geo"
+)
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	return Synthesize(403, 0.2)
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(403, 0.2)
+	b := Synthesize(403, 0.2)
+	if len(a.Rules) != len(b.Rules) {
+		t.Fatal("rule counts differ")
+	}
+	for i := range a.Rules {
+		if a.Rules[i] != b.Rules[i] {
+			t.Fatalf("rule %d differs", i)
+		}
+	}
+}
+
+func TestZonePopulations(t *testing.T) {
+	ds := testDataset(t)
+	if ds.ZonesPerTier[Free] <= ds.ZonesPerTier[Pro] ||
+		ds.ZonesPerTier[Pro] <= ds.ZonesPerTier[Business] ||
+		ds.ZonesPerTier[Business] <= ds.ZonesPerTier[Enterprise] {
+		t.Fatalf("tier populations out of order: %v", ds.ZonesPerTier)
+	}
+}
+
+func TestBaselineShape(t *testing.T) {
+	ds := testDataset(t)
+	baseline, _ := ds.Table9(nil)
+	// Paper: Enterprise 37.07%, Business 2.69%, Pro 2.56%, Free 1.72%,
+	// All 1.93%.
+	if math.Abs(baseline.PerTier[Enterprise]-0.3707) > 0.02 {
+		t.Fatalf("enterprise baseline %.4f", baseline.PerTier[Enterprise])
+	}
+	if baseline.PerTier[Enterprise] < 10*baseline.PerTier[Business] {
+		t.Fatal("enterprise must dwarf business baseline")
+	}
+	if baseline.All < 0.015 || baseline.All > 0.025 {
+		t.Fatalf("overall baseline %.4f, want ~0.019", baseline.All)
+	}
+	if baseline.PerTier[Free] > baseline.PerTier[Pro] || baseline.PerTier[Pro] > baseline.PerTier[Business] {
+		t.Fatalf("tier baselines out of order: %v", baseline.PerTier)
+	}
+}
+
+func TestTable9CountryShape(t *testing.T) {
+	ds := testDataset(t)
+	_, rows := ds.Table9([]geo.CountryCode{"KP", "IR", "RU", "CN", "SY", "SD"})
+	get := func(cc geo.CountryCode) Table9Row {
+		for _, r := range rows {
+			if r.Country == cc {
+				return r
+			}
+		}
+		t.Fatalf("row %s missing", cc)
+		return Table9Row{}
+	}
+	kp, ru, cn, ir := get("KP"), get("RU"), get("CN"), get("IR")
+	// Enterprise: sanctions dominate (North Korea the most blocked).
+	if kp.PerTier[Enterprise] < ru.PerTier[Enterprise] || ir.PerTier[Enterprise] < cn.PerTier[Enterprise] {
+		t.Fatalf("enterprise should block sanctions hardest: KP=%v RU=%v IR=%v CN=%v",
+			kp.PerTier[Enterprise], ru.PerTier[Enterprise], ir.PerTier[Enterprise], cn.PerTier[Enterprise])
+	}
+	// Free tier: China and Russia over the sanctioned set.
+	if kp.PerTier[Free] > ru.PerTier[Free] || kp.PerTier[Free] > cn.PerTier[Free] {
+		t.Fatalf("free tier should block CN/RU hardest: KP=%v RU=%v CN=%v",
+			kp.PerTier[Free], ru.PerTier[Free], cn.PerTier[Free])
+	}
+	// Rates are per-tier fractions in [0, 1].
+	for _, r := range rows {
+		for _, tier := range Tiers() {
+			if r.PerTier[tier] < 0 || r.PerTier[tier] > 1 {
+				t.Fatalf("rate out of range: %v", r)
+			}
+		}
+	}
+}
+
+func TestNonEnterpriseOnlyDuringRegression(t *testing.T) {
+	ds := testDataset(t)
+	for _, r := range ds.Rules {
+		if r.Tier == Enterprise || r.Action != ActionBlock {
+			continue
+		}
+		if r.Activated < DayRegressionStart || r.Activated > DaySnapshot {
+			t.Fatalf("non-enterprise rule outside regression window: %+v", r)
+		}
+	}
+	if ds.RegressionUptake() == 0 {
+		t.Fatal("no regression uptake at all")
+	}
+}
+
+func TestCumulativeActivationsMonotone(t *testing.T) {
+	ds := testDataset(t)
+	days := []Day{200, 500, 800, 1100, DayRegressionStart, 1250, DaySnapshot}
+	for _, cc := range []geo.CountryCode{"KP", "IR", "SY", "SD", "CU"} {
+		series := ds.CumulativeActivations(cc, days)
+		for i := 1; i < len(series); i++ {
+			if series[i] < series[i-1] {
+				t.Fatalf("%s series not monotone: %v", cc, series)
+			}
+		}
+		if series[len(series)-1] == 0 {
+			t.Fatalf("%s has no enterprise activations", cc)
+		}
+	}
+}
+
+func TestSanctionedCountriesTrackTogether(t *testing.T) {
+	// Figure 5: KP, IR, SY, SD, CU follow the same accumulation pattern
+	// with KP and IR somewhat above the other three.
+	ds := Synthesize(403, 0.5)
+	days := []Day{DaySnapshot}
+	kp := ds.CumulativeActivations("KP", days)[0]
+	ir := ds.CumulativeActivations("IR", days)[0]
+	sy := ds.CumulativeActivations("SY", days)[0]
+	cu := ds.CumulativeActivations("CU", days)[0]
+	if kp <= sy || ir <= cu {
+		t.Fatalf("KP/IR should lead SY/CU: kp=%d ir=%d sy=%d cu=%d", kp, ir, sy, cu)
+	}
+	ratio := float64(kp) / float64(cu)
+	if ratio > 2.0 {
+		t.Fatalf("sanctioned countries should track together, kp/cu = %.2f", ratio)
+	}
+}
+
+func TestTopBlockedCountries(t *testing.T) {
+	ds := testDataset(t)
+	top := ds.TopBlockedCountries(5)
+	if len(top) != 5 {
+		t.Fatalf("top = %v", top)
+	}
+	// Free-tier volume dominates raw counts, so CN/RU should lead.
+	lead := map[geo.CountryCode]bool{top[0]: true, top[1]: true}
+	if !lead["CN"] && !lead["RU"] {
+		t.Fatalf("expected CN or RU leading raw counts: %v", top)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Enterprise.String() != "Enterprise" || Free.String() != "Free" {
+		t.Fatal("tier strings broken")
+	}
+	if ActionBlock.String() != "block" || ActionWhitelist.String() != "whitelist" {
+		t.Fatal("action strings broken")
+	}
+}
+
+func TestCumulativeActivationsUnknownCountry(t *testing.T) {
+	ds := testDataset(t)
+	series := ds.CumulativeActivations("ZZ", []Day{DaySnapshot})
+	if series[0] != 0 {
+		t.Fatal("unknown country should have no activations")
+	}
+}
+
+func TestTable9UnknownCountryRow(t *testing.T) {
+	ds := testDataset(t)
+	_, rows := ds.Table9([]geo.CountryCode{"ZZ"})
+	if len(rows) != 1 || rows[0].All != 0 {
+		t.Fatalf("unknown country row: %+v", rows)
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	ds := Synthesize(1, 0.0001)
+	for tier, zones := range ds.ZonesPerTier {
+		if zones < 50 {
+			t.Fatalf("%v zone floor violated: %d", tier, zones)
+		}
+	}
+}
+
+func TestSynthesizePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Synthesize(1, 1.5)
+}

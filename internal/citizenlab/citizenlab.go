@@ -1,0 +1,68 @@
+// Package citizenlab synthesizes the Citizen Lab Block List substitute:
+// a global test list of domains that censorship measurement tools probe
+// plus per-country lists. The paper uses the list twice — to *exclude*
+// listed domains before probing from residential devices (§3.3), and as
+// the domain universe of the OONI confound analysis, where 9% of the
+// global list turned out to serve CDN geoblock pages (§7.1).
+package citizenlab
+
+import (
+	"fmt"
+	"sort"
+
+	"geoblock/internal/geo"
+	"geoblock/internal/stats"
+)
+
+// List is a synthetic Citizen Lab test list.
+type List struct {
+	// Global is the global test list every client probes.
+	Global []string
+	// PerCountry maps a country to its country-specific additions.
+	PerCountry map[geo.CountryCode][]string
+
+	global map[string]bool
+}
+
+// Build assembles a list: fromPopulation are real domains drawn from
+// the simulated web (popular sites that ended up on the list — these
+// are the ones that can collide with the study populations and with
+// geoblocking), and extra synthetic entries model the rest of the list
+// (activist sites, local media) that exist outside the measured web.
+func Build(rng *stats.RNG, fromPopulation []string, extra int, censorCountries []geo.CountryCode) *List {
+	l := &List{
+		PerCountry: make(map[geo.CountryCode][]string),
+		global:     make(map[string]bool),
+	}
+	for _, d := range fromPopulation {
+		l.add(d)
+	}
+	for i := 0; i < extra; i++ {
+		l.add(fmt.Sprintf("testlist-%04d.example", i))
+	}
+	sort.Strings(l.Global)
+	for _, cc := range censorCountries {
+		n := 20 + rng.Intn(60)
+		local := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			local = append(local, fmt.Sprintf("local-%s-%03d.example", cc, i))
+		}
+		l.PerCountry[cc] = local
+	}
+	return l
+}
+
+func (l *List) add(d string) {
+	if l.global[d] {
+		return
+	}
+	l.global[d] = true
+	l.Global = append(l.Global, d)
+}
+
+// Contains reports whether domain is on the global list — the check the
+// safe-list filter applies before probing.
+func (l *List) Contains(domain string) bool { return l.global[domain] }
+
+// Len returns the size of the global list.
+func (l *List) Len() int { return len(l.Global) }

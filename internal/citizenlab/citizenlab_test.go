@@ -1,0 +1,37 @@
+package citizenlab
+
+import (
+	"testing"
+
+	"geoblock/internal/geo"
+	"geoblock/internal/stats"
+)
+
+func TestBuild(t *testing.T) {
+	rng := stats.NewRNG(1)
+	l := Build(rng, []string{"a.example", "b.example", "a.example"}, 10,
+		[]geo.CountryCode{"CN", "IR"})
+	if l.Len() != 12 { // 2 unique population entries + 10 extras
+		t.Fatalf("len = %d", l.Len())
+	}
+	if !l.Contains("a.example") || l.Contains("missing.example") {
+		t.Fatal("containment broken")
+	}
+	if len(l.PerCountry["CN"]) == 0 || len(l.PerCountry["IR"]) == 0 {
+		t.Fatal("per-country lists missing")
+	}
+	// Global list sorted and duplicate-free.
+	for i := 1; i < len(l.Global); i++ {
+		if l.Global[i] <= l.Global[i-1] {
+			t.Fatalf("global list unsorted or duplicated at %d: %v", i, l.Global[i-1:i+1])
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(stats.NewRNG(5), []string{"x.example"}, 5, []geo.CountryCode{"CN"})
+	b := Build(stats.NewRNG(5), []string{"x.example"}, 5, []geo.CountryCode{"CN"})
+	if len(a.Global) != len(b.Global) || len(a.PerCountry["CN"]) != len(b.PerCountry["CN"]) {
+		t.Fatal("not deterministic")
+	}
+}

@@ -1,0 +1,255 @@
+// Package cluster implements single-link agglomerative hierarchical
+// clustering over sparse TF-IDF vectors — the grouping step the paper
+// applies to candidate block pages (§4.1.3). Single-link clustering cut
+// at a distance threshold is exactly the connected components of the
+// ε-neighborhood similarity graph, which is how it is computed here
+// (with union-find), after collapsing byte-identical documents.
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"geoblock/internal/textfeat"
+)
+
+// Cluster is one group of document indices (into the input slice),
+// sorted ascending.
+type Cluster struct {
+	Members []int
+}
+
+// Size returns the number of documents in the cluster.
+func (c Cluster) Size() int { return len(c.Members) }
+
+// Options tunes the clustering.
+type Options struct {
+	// MinSimilarity joins two documents when cosine ≥ this (i.e. a
+	// single-link distance cut at 1−MinSimilarity).
+	MinSimilarity float64
+	// Workers parallelizes the pairwise similarity pass (0 = serial).
+	Workers int
+	// MaxLengthRatio prunes pairs whose byte lengths differ by more
+	// than this factor before computing cosine: near-duplicate
+	// templates necessarily have similar lengths, and the prune removes
+	// the bulk of origin-vs-blockpage comparisons. 0 disables.
+	MaxLengthRatio float64
+}
+
+// DefaultOptions joins documents at cosine ≥ 0.82: measured across the
+// template corpus, same-template renders stay above 0.84 (the variable
+// fields — ray IDs, domains, country names — never dominate) while the
+// closest cross-template pair (Cloudflare block vs. Cloudflare captcha,
+// which share footer boilerplate) stays below 0.80. The length prune at
+// 2.5× is far looser than anything cosine 0.82 admits.
+func DefaultOptions() Options {
+	return Options{MinSimilarity: 0.82, Workers: 8, MaxLengthRatio: 2.5}
+}
+
+// unionFind is a standard disjoint-set with path halving.
+type unionFind struct {
+	parent []int
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// SingleLink clusters docs (with their precomputed vectors) and returns
+// clusters ordered by descending size (ties: by smallest member).
+// Byte-identical documents are collapsed before the O(k²) similarity
+// pass, which matters enormously for block pages: thousands of samples
+// reduce to a few hundred distinct texts.
+func SingleLink(docs []string, vecs []textfeat.Vector, opts Options) []Cluster {
+	if len(docs) != len(vecs) {
+		panic("cluster: docs and vectors length mismatch")
+	}
+	n := len(docs)
+	uf := newUnionFind(n)
+
+	// Collapse exact duplicates.
+	rep := make(map[string]int, n)
+	var distinct []int
+	for i, d := range docs {
+		if j, ok := rep[d]; ok {
+			uf.union(i, j)
+			continue
+		}
+		rep[d] = i
+		distinct = append(distinct, i)
+	}
+
+	// ε-neighborhood graph over the distinct representatives: edges are
+	// discovered in parallel, then merged. The length prune is safe for
+	// near-duplicate detection (high cosine over TF-IDF implies similar
+	// token volume) and removes the vast majority of candidate pairs.
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	edges := make([][][2]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for a := w; a < len(distinct); a += workers {
+				ia := distinct[a]
+				la := float64(len(docs[ia]))
+				for b := a + 1; b < len(distinct); b++ {
+					ib := distinct[b]
+					if opts.MaxLengthRatio > 0 {
+						lb := float64(len(docs[ib]))
+						if la > lb*opts.MaxLengthRatio || lb > la*opts.MaxLengthRatio {
+							continue
+						}
+					}
+					if textfeat.Cosine(vecs[ia], vecs[ib]) >= opts.MinSimilarity {
+						edges[w] = append(edges[w], [2]int{ia, ib})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, es := range edges {
+		for _, e := range es {
+			uf.union(e[0], e[1])
+		}
+	}
+
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		out = append(out, Cluster{Members: members})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}
+
+// Purity scores a clustering against ground-truth labels: the fraction
+// of documents whose cluster's majority label matches their own. Used
+// by the ablation benches to compare linkage strategies.
+func Purity(clusters []Cluster, labels []string) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, c := range clusters {
+		counts := map[string]int{}
+		for _, m := range c.Members {
+			counts[labels[m]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// CompleteLink is the ablation comparator: complete-link agglomerative
+// clustering cut at the same similarity threshold (a cluster joins only
+// if *all* cross-pairs are similar). Implemented naively; intended for
+// modest inputs in benchmarks.
+func CompleteLink(docs []string, vecs []textfeat.Vector, opts Options) []Cluster {
+	n := len(docs)
+	clusters := make([][]int, 0, n)
+	// Seed with duplicate-collapsed singletons.
+	rep := make(map[string]int, n)
+	dupOf := make(map[int][]int)
+	for i, d := range docs {
+		if j, ok := rep[d]; ok {
+			dupOf[j] = append(dupOf[j], i)
+			continue
+		}
+		rep[d] = i
+		clusters = append(clusters, []int{i})
+	}
+
+	minSim := func(a, b []int) float64 {
+		lo := 1.0
+		for _, i := range a {
+			for _, j := range b {
+				s := textfeat.Cosine(vecs[i], vecs[j])
+				if s < lo {
+					lo = s
+				}
+			}
+		}
+		return lo
+	}
+
+	for {
+		bi, bj, best := -1, -1, opts.MinSimilarity
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if s := minSim(clusters[i], clusters[j]); s >= best {
+					bi, bj, best = i, j, s
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+
+	out := make([]Cluster, 0, len(clusters))
+	for _, members := range clusters {
+		full := append([]int(nil), members...)
+		for _, m := range members {
+			full = append(full, dupOf[m]...)
+		}
+		sort.Ints(full)
+		out = append(out, Cluster{Members: full})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}

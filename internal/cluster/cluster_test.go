@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"geoblock/internal/blockpage"
+	"geoblock/internal/textfeat"
+)
+
+func renderKind(k blockpage.Kind, i int) string {
+	return blockpage.Render(k, blockpage.Vars{
+		Domain:      fmt.Sprintf("site%d.example", i),
+		ClientIP:    fmt.Sprintf("10.0.%d.%d", i%250, (i*7)%250),
+		CountryName: []string{"Iran", "Syria", "Cuba", "Sudan"}[i%4],
+		RayID:       fmt.Sprintf("%08x%08x", i*2654435761, i),
+		Nonce:       fmt.Sprintf("%06x", i*40503),
+	})
+}
+
+func TestBlockPagesClusterByKind(t *testing.T) {
+	kinds := []blockpage.Kind{
+		blockpage.Cloudflare, blockpage.Akamai, blockpage.CloudFront,
+		blockpage.AppEngine, blockpage.Incapsula, blockpage.Nginx,
+	}
+	var docs []string
+	var labels []string
+	for _, k := range kinds {
+		for i := 0; i < 12; i++ {
+			docs = append(docs, renderKind(k, i))
+			labels = append(labels, k.String())
+		}
+	}
+	_, vecs := textfeat.FitTransform(docs)
+	clusters := SingleLink(docs, vecs, DefaultOptions())
+	// A template may split into a few clusters (the paper saw 119
+	// clusters for ~16 page classes), but clusters must never mix
+	// kinds, and the count must stay reviewable.
+	if len(clusters) < len(kinds) || len(clusters) > 4*len(kinds) {
+		t.Fatalf("got %d clusters for %d kinds", len(clusters), len(kinds))
+	}
+	if p := Purity(clusters, labels); p < 0.999 {
+		t.Fatalf("purity = %v", p)
+	}
+	for ci, c := range clusters {
+		seen := map[string]bool{}
+		for _, m := range c.Members {
+			seen[labels[m]] = true
+		}
+		if len(seen) != 1 {
+			t.Fatalf("cluster %d mixes kinds: %v", ci, seen)
+		}
+	}
+}
+
+func TestIdenticalDocsSingleCluster(t *testing.T) {
+	docs := []string{"same page body", "same page body", "same page body"}
+	_, vecs := textfeat.FitTransform(docs)
+	clusters := SingleLink(docs, vecs, DefaultOptions())
+	if len(clusters) != 1 || clusters[0].Size() != 3 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+}
+
+func TestDissimilarDocsStayApart(t *testing.T) {
+	docs := []string{
+		"alpha beta gamma delta epsilon",
+		"one two three four five",
+		"red orange yellow green blue",
+	}
+	_, vecs := textfeat.FitTransform(docs)
+	clusters := SingleLink(docs, vecs, DefaultOptions())
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3", len(clusters))
+	}
+}
+
+func TestClusterOrdering(t *testing.T) {
+	docs := []string{"aa bb cc", "aa bb cc", "zz yy xx", "aa bb cc"}
+	_, vecs := textfeat.FitTransform(docs)
+	clusters := SingleLink(docs, vecs, DefaultOptions())
+	if clusters[0].Size() != 3 || clusters[1].Size() != 1 {
+		t.Fatalf("clusters not size-ordered: %+v", clusters)
+	}
+	// Members sorted ascending.
+	m := clusters[0].Members
+	for i := 1; i < len(m); i++ {
+		if m[i] <= m[i-1] {
+			t.Fatalf("members unsorted: %v", m)
+		}
+	}
+}
+
+func TestSingleLinkChaining(t *testing.T) {
+	// A chains to B, B chains to C, but A and C are dissimilar —
+	// single-link must merge all three (the defining property).
+	docs := []string{
+		"w1 w2 w3 w4 w5 w6 w7 w8",
+		"w5 w6 w7 w8 w9 w10 w11 w12",
+		"w9 w10 w11 w12 w13 w14 w15 w16",
+	}
+	_, vecs := textfeat.FitTransform(docs)
+	a := textfeat.Cosine(vecs[0], vecs[1])
+	c := textfeat.Cosine(vecs[0], vecs[2])
+	if c >= a {
+		t.Skip("corpus did not produce a chain")
+	}
+	clusters := SingleLink(docs, vecs, Options{MinSimilarity: a - 0.01})
+	if len(clusters) != 1 {
+		t.Fatalf("single-link should chain: %d clusters", len(clusters))
+	}
+	// Complete-link at the same threshold must NOT merge A with C.
+	complete := CompleteLink(docs, vecs, Options{MinSimilarity: a - 0.01})
+	if len(complete) == 1 {
+		t.Fatal("complete-link should refuse the chain merge")
+	}
+}
+
+func TestCompleteLinkBasics(t *testing.T) {
+	docs := []string{"aa bb cc dd", "aa bb cc dd", "zz yy xx ww"}
+	_, vecs := textfeat.FitTransform(docs)
+	clusters := CompleteLink(docs, vecs, DefaultOptions())
+	if len(clusters) != 2 {
+		t.Fatalf("complete-link clusters = %d, want 2", len(clusters))
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Size()
+	}
+	if total != len(docs) {
+		t.Fatalf("complete-link lost documents: %d of %d", total, len(docs))
+	}
+}
+
+func TestAllDocsAssignedExactlyOnce(t *testing.T) {
+	var docs []string
+	for i := 0; i < 50; i++ {
+		docs = append(docs, renderKind(blockpage.Cloudflare, i%5))
+	}
+	for i := 0; i < 30; i++ {
+		docs = append(docs, renderKind(blockpage.Nginx, i))
+	}
+	_, vecs := textfeat.FitTransform(docs)
+	clusters := SingleLink(docs, vecs, DefaultOptions())
+	seen := make([]bool, len(docs))
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("doc %d in two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("doc %d unassigned", i)
+		}
+	}
+}
+
+func TestPurity(t *testing.T) {
+	clusters := []Cluster{{Members: []int{0, 1, 2}}, {Members: []int{3, 4}}}
+	labels := []string{"a", "a", "b", "c", "c"}
+	// Cluster 1 majority "a" (2/3 correct), cluster 2 majority "c" (2/2).
+	if p := Purity(clusters, labels); p != 0.8 {
+		t.Fatalf("purity = %v, want 0.8", p)
+	}
+	if Purity(nil, nil) != 0 {
+		t.Fatal("empty purity should be 0")
+	}
+}
+
+func TestMismatchedInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SingleLink([]string{"a"}, nil, DefaultOptions())
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"geoblock/internal/textfeat"
+)
+
+// Merge is one agglomeration step of a dendrogram: the two clusters
+// containing documents A and B merge at the given cosine similarity.
+// Merges are ordered from most to least similar, so walking the list
+// replays the agglomerative process.
+type Merge struct {
+	A, B       int
+	Similarity float64
+}
+
+// Dendrogram is the full single-link hierarchy over a document corpus:
+// the structure the paper's semi-automated process actually explores
+// before choosing a cut ("single-link hierarchical clustering, which
+// does not require that we know the number of clusters beforehand",
+// §4.1.3). Build one with BuildDendrogram; CutAt then yields the
+// clustering for any threshold without re-running the O(n²) similarity
+// pass.
+type Dendrogram struct {
+	n      int
+	merges []Merge
+	// dupOf maps a duplicate-collapsed representative to its copies.
+	dupOf map[int][]int
+}
+
+// BuildDendrogram computes the single-link hierarchy. The minimum
+// spanning tree of the similarity graph (Prim's algorithm, O(k²) over
+// the k distinct documents) contains exactly the single-link merge
+// structure: cutting all MST edges below a similarity threshold yields
+// the same components as thresholding the full graph.
+func BuildDendrogram(docs []string, vecs []textfeat.Vector, workers int) *Dendrogram {
+	if len(docs) != len(vecs) {
+		panic("cluster: docs and vectors length mismatch")
+	}
+	d := &Dendrogram{n: len(docs), dupOf: map[int][]int{}}
+
+	// Collapse byte-identical documents: they merge at similarity 1.
+	rep := make(map[string]int, len(docs))
+	var distinct []int
+	for i, doc := range docs {
+		if j, ok := rep[doc]; ok {
+			d.dupOf[j] = append(d.dupOf[j], i)
+			d.merges = append(d.merges, Merge{A: j, B: i, Similarity: 1})
+			continue
+		}
+		rep[doc] = i
+		distinct = append(distinct, i)
+	}
+	k := len(distinct)
+	if k <= 1 {
+		sortMerges(d.merges)
+		return d
+	}
+
+	// Prim's MST over the complete similarity graph (maximizing
+	// similarity). bestSim[i] is the best similarity from the grown
+	// tree to distinct[i]; the inner scans parallelize across workers.
+	if workers < 1 {
+		workers = 1
+	}
+	inTree := make([]bool, k)
+	bestSim := make([]float64, k)
+	bestFrom := make([]int, k)
+	for i := range bestSim {
+		bestSim[i] = -1
+	}
+	inTree[0] = true
+	updateFrom(docs, vecs, distinct, 0, inTree, bestSim, bestFrom, workers)
+
+	for added := 1; added < k; added++ {
+		// Pick the most similar outside vertex.
+		best := -1
+		for i := 0; i < k; i++ {
+			if !inTree[i] && (best < 0 || bestSim[i] > bestSim[best]) {
+				best = i
+			}
+		}
+		d.merges = append(d.merges, Merge{
+			A:          distinct[bestFrom[best]],
+			B:          distinct[best],
+			Similarity: bestSim[best],
+		})
+		inTree[best] = true
+		updateFrom(docs, vecs, distinct, best, inTree, bestSim, bestFrom, workers)
+	}
+
+	sortMerges(d.merges)
+	return d
+}
+
+// updateFrom relaxes the frontier similarities after vertex src joins
+// the tree.
+func updateFrom(docs []string, vecs []textfeat.Vector, distinct []int, src int, inTree []bool, bestSim []float64, bestFrom []int, workers int) {
+	k := len(distinct)
+	vs := vecs[distinct[src]]
+	if workers == 1 || k < 256 {
+		for i := 0; i < k; i++ {
+			if inTree[i] {
+				continue
+			}
+			if s := textfeat.Cosine(vs, vecs[distinct[i]]); s > bestSim[i] {
+				bestSim[i] = s
+				bestFrom[i] = src
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (k + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > k {
+			hi = k
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if inTree[i] {
+					continue
+				}
+				if s := textfeat.Cosine(vs, vecs[distinct[i]]); s > bestSim[i] {
+					bestSim[i] = s
+					bestFrom[i] = src
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func sortMerges(ms []Merge) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Similarity != ms[j].Similarity {
+			return ms[i].Similarity > ms[j].Similarity
+		}
+		if ms[i].A != ms[j].A {
+			return ms[i].A < ms[j].A
+		}
+		return ms[i].B < ms[j].B
+	})
+}
+
+// Merges returns the agglomeration sequence, most similar first.
+func (d *Dendrogram) Merges() []Merge { return d.merges }
+
+// CutAt returns the clustering obtained by applying every merge with
+// similarity ≥ minSim — identical to SingleLink at the same threshold.
+func (d *Dendrogram) CutAt(minSim float64) []Cluster {
+	uf := newUnionFind(d.n)
+	for _, m := range d.merges {
+		if m.Similarity < minSim {
+			break
+		}
+		uf.union(m.A, m.B)
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < d.n; i++ {
+		r := uf.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		out = append(out, Cluster{Members: members})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}
+
+// ClusterCounts returns, for each threshold, the number of clusters at
+// that cut — the curve an analyst inspects to pick the knee.
+func (d *Dendrogram) ClusterCounts(thresholds []float64) []int {
+	out := make([]int, len(thresholds))
+	for i, t := range thresholds {
+		out[i] = len(d.CutAt(t))
+	}
+	return out
+}

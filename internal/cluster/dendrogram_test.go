@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"geoblock/internal/blockpage"
+	"geoblock/internal/textfeat"
+)
+
+func dendCorpus() ([]string, []textfeat.Vector) {
+	kinds := []blockpage.Kind{
+		blockpage.Cloudflare, blockpage.Akamai, blockpage.AppEngine,
+		blockpage.Nginx, blockpage.Incapsula,
+	}
+	var docs []string
+	for _, k := range kinds {
+		for i := 0; i < 8; i++ {
+			docs = append(docs, renderKind(k, i))
+		}
+	}
+	_, vecs := textfeat.FitTransform(docs)
+	return docs, vecs
+}
+
+func clusterFingerprint(cs []Cluster) string {
+	s := ""
+	for _, c := range cs {
+		for _, m := range c.Members {
+			s += string(rune(m)) + ","
+		}
+		s += ";"
+	}
+	return s
+}
+
+func TestDendrogramCutEqualsSingleLink(t *testing.T) {
+	docs, vecs := dendCorpus()
+	d := BuildDendrogram(docs, vecs, 4)
+	for _, th := range []float64{0.5, 0.7, 0.82, 0.95, 0.999} {
+		viaCut := d.CutAt(th)
+		direct := SingleLink(docs, vecs, Options{MinSimilarity: th, Workers: 4})
+		if clusterFingerprint(viaCut) != clusterFingerprint(direct) {
+			t.Fatalf("threshold %v: dendrogram cut and direct single-link disagree\ncut:    %d clusters\ndirect: %d clusters",
+				th, len(viaCut), len(direct))
+		}
+	}
+}
+
+func TestDendrogramMonotoneCounts(t *testing.T) {
+	docs, vecs := dendCorpus()
+	d := BuildDendrogram(docs, vecs, 2)
+	thresholds := []float64{0.1, 0.3, 0.5, 0.7, 0.82, 0.9, 0.99, 1.0}
+	counts := d.ClusterCounts(thresholds)
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("cluster count must grow with the threshold: %v at %v", counts, thresholds)
+		}
+	}
+	if counts[0] != 1 {
+		t.Fatalf("a near-zero threshold must merge everything: %d clusters", counts[0])
+	}
+	if counts[len(counts)-1] < 5 {
+		t.Fatalf("a 1.0 threshold should split the kinds: %d clusters", counts[len(counts)-1])
+	}
+}
+
+func TestDendrogramMergesOrdered(t *testing.T) {
+	docs, vecs := dendCorpus()
+	d := BuildDendrogram(docs, vecs, 1)
+	ms := d.Merges()
+	if len(ms) != len(docs)-1 {
+		t.Fatalf("a dendrogram over n docs has n-1 merges; got %d for %d docs", len(ms), len(docs))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Similarity > ms[i-1].Similarity {
+			t.Fatal("merges must be ordered by descending similarity")
+		}
+	}
+}
+
+func TestDendrogramDuplicatesMergeFirst(t *testing.T) {
+	docs := []string{"same text", "same text", "other words entirely"}
+	_, vecs := textfeat.FitTransform(docs)
+	d := BuildDendrogram(docs, vecs, 1)
+	if m := d.Merges()[0]; m.Similarity != 1 || m.A != 0 || m.B != 1 {
+		t.Fatalf("duplicates should merge first at similarity 1: %+v", m)
+	}
+	cs := d.CutAt(0.999)
+	if len(cs) != 2 {
+		t.Fatalf("cut just below 1 should keep duplicates together: %d clusters", len(cs))
+	}
+}
+
+func TestDendrogramTrivialInputs(t *testing.T) {
+	_, vecs := textfeat.FitTransform([]string{"only doc"})
+	d := BuildDendrogram([]string{"only doc"}, vecs, 1)
+	if len(d.Merges()) != 0 {
+		t.Fatal("single doc has no merges")
+	}
+	if cs := d.CutAt(0.5); len(cs) != 1 || cs[0].Size() != 1 {
+		t.Fatalf("single doc cut: %+v", cs)
+	}
+}
+
+func TestDendrogramWorkerInvariance(t *testing.T) {
+	docs, vecs := dendCorpus()
+	a := BuildDendrogram(docs, vecs, 1)
+	b := BuildDendrogram(docs, vecs, 8)
+	if clusterFingerprint(a.CutAt(0.82)) != clusterFingerprint(b.CutAt(0.82)) {
+		t.Fatal("worker count changed the dendrogram")
+	}
+}

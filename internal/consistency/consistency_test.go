@@ -1,0 +1,153 @@
+package consistency
+
+import (
+	"math"
+	"testing"
+
+	"geoblock/internal/stats"
+)
+
+func TestRateFrac(t *testing.T) {
+	if (Rate{}).Frac() != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	if got := (Rate{Responses: 20, Blocks: 17}).Frac(); got != 0.85 {
+		t.Fatalf("frac = %v", got)
+	}
+}
+
+func TestConfirmedThreshold(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want bool
+	}{
+		{Rate{Responses: 23, Blocks: 19}, true},  // 82.6%
+		{Rate{Responses: 23, Blocks: 18}, false}, // 78.3%
+		{Rate{Responses: 10, Blocks: 8}, true},   // exactly 80%
+		{Rate{Responses: 0, Blocks: 0}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.r.Confirmed(DefaultThreshold); got != tc.want {
+			t.Errorf("Confirmed(%+v) = %v", tc.r, got)
+		}
+	}
+}
+
+func TestDomainConsistencyPaperExamples(t *testing.T) {
+	// Two countries blocked 100%, rest never → 100%.
+	perCountry := map[string]Rate{
+		"IR": {Responses: 20, Blocks: 20},
+		"SY": {Responses: 20, Blocks: 20},
+		"US": {Responses: 20, Blocks: 0},
+		"DE": {Responses: 20, Blocks: 0},
+	}
+	score, seen := DomainConsistency(perCountry, DefaultThreshold)
+	if score != 1.0 || seen != 2 {
+		t.Fatalf("example 1: score=%v seen=%d", score, seen)
+	}
+
+	// Three countries at 90%, one at 20% → 75%.
+	perCountry = map[string]Rate{
+		"IR": {Responses: 20, Blocks: 18},
+		"SY": {Responses: 20, Blocks: 18},
+		"SD": {Responses: 20, Blocks: 18},
+		"RU": {Responses: 20, Blocks: 4},
+		"US": {Responses: 20, Blocks: 0},
+	}
+	score, seen = DomainConsistency(perCountry, DefaultThreshold)
+	if score != 0.75 || seen != 4 {
+		t.Fatalf("example 2: score=%v seen=%d", score, seen)
+	}
+}
+
+func TestDomainConsistencyEmpty(t *testing.T) {
+	score, seen := DomainConsistency(map[string]Rate{"US": {Responses: 5}}, DefaultThreshold)
+	if score != 0 || seen != 0 {
+		t.Fatalf("score=%v seen=%d", score, seen)
+	}
+}
+
+func TestBlockedEverywhere(t *testing.T) {
+	all := map[string]Rate{
+		"US": {Responses: 20, Blocks: 20},
+		"DE": {Responses: 20, Blocks: 19},
+	}
+	if !BlockedEverywhere(all, DefaultThreshold) {
+		t.Fatal("fully blocked domain should report true")
+	}
+	some := map[string]Rate{
+		"US": {Responses: 20, Blocks: 20},
+		"DE": {Responses: 20, Blocks: 0},
+	}
+	if BlockedEverywhere(some, DefaultThreshold) {
+		t.Fatal("partially blocked domain should report false")
+	}
+	if BlockedEverywhere(map[string]Rate{}, DefaultThreshold) {
+		t.Fatal("empty map should be false")
+	}
+}
+
+func fullBlocks(n int, rate float64, rng *stats.RNG) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Bool(rate)
+	}
+	return out
+}
+
+func TestSubsampleBlockRates(t *testing.T) {
+	rng := stats.NewRNG(1)
+	blocks := fullBlocks(100, 0.9, rng)
+	rates := SubsampleBlockRates(blocks, 20, 500, rng)
+	if len(rates) != 500 {
+		t.Fatalf("draws = %d", len(rates))
+	}
+	mean := stats.Mean(rates)
+	trueRate := 0.0
+	for _, b := range blocks {
+		if b {
+			trueRate++
+		}
+	}
+	trueRate /= 100
+	if math.Abs(mean-trueRate) > 0.05 {
+		t.Fatalf("subsample mean %v far from true rate %v", mean, trueRate)
+	}
+}
+
+func TestSubsampleSizeClamped(t *testing.T) {
+	rng := stats.NewRNG(2)
+	blocks := []bool{true, false, true}
+	rates := SubsampleBlockRates(blocks, 10, 50, rng)
+	for _, r := range rates {
+		if math.Abs(r-2.0/3.0) > 1e-9 {
+			t.Fatalf("clamped draw should use all samples: %v", r)
+		}
+	}
+}
+
+func TestFalseNegativeRateDropsWithSampleSize(t *testing.T) {
+	rng := stats.NewRNG(3)
+	// A pair whose block page shows 90% of the time (proxy noise hides
+	// the rest).
+	blocks := fullBlocks(100, 0.9, rng)
+	prev := 1.0
+	for _, k := range []int{1, 3, 10, 20} {
+		fn := FalseNegativeRate(blocks, k, 500, rng)
+		if fn > prev+0.02 {
+			t.Fatalf("false negatives should shrink with k: k=%d fn=%v prev=%v", k, fn, prev)
+		}
+		prev = fn
+	}
+	if prev > 0.01 {
+		t.Fatalf("20 samples should essentially never miss: %v", prev)
+	}
+}
+
+func TestFalseNegativeAllBlocked(t *testing.T) {
+	rng := stats.NewRNG(4)
+	blocks := fullBlocks(50, 1.0, rng)
+	if fn := FalseNegativeRate(blocks, 1, 100, rng); fn != 0 {
+		t.Fatalf("always-blocked pair missed: %v", fn)
+	}
+}

@@ -1,0 +1,34 @@
+package consistency_test
+
+import (
+	"fmt"
+
+	"geoblock/internal/consistency"
+)
+
+// The §5.2.2 consistency score separates geoblocking from bot noise on
+// the CDNs whose block page is ambiguous.
+func ExampleDomainConsistency() {
+	// A true geoblocker: two countries always blocked, the rest clean.
+	geoblocker := map[string]consistency.Rate{
+		"IR": {Responses: 20, Blocks: 20},
+		"SY": {Responses: 20, Blocks: 20},
+		"US": {Responses: 20, Blocks: 0},
+		"DE": {Responses: 20, Blocks: 0},
+	}
+	score, seen := consistency.DomainConsistency(geoblocker, consistency.DefaultThreshold)
+	fmt.Printf("geoblocker: score %.2f over %d countries\n", score, seen)
+
+	// A bot-defense deployment: the page shows up sporadically
+	// everywhere — never consistently.
+	botDefense := map[string]consistency.Rate{
+		"IR": {Responses: 20, Blocks: 5},
+		"US": {Responses: 20, Blocks: 3},
+		"DE": {Responses: 20, Blocks: 4},
+	}
+	score, seen = consistency.DomainConsistency(botDefense, consistency.DefaultThreshold)
+	fmt.Printf("bot defense: score %.2f over %d countries\n", score, seen)
+	// Output:
+	// geoblocker: score 1.00 over 2 countries
+	// bot defense: score 0.00 over 3 countries
+}

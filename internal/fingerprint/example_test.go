@@ -1,0 +1,31 @@
+package fingerprint_test
+
+import (
+	"fmt"
+
+	"geoblock/internal/blockpage"
+	"geoblock/internal/fingerprint"
+)
+
+// Classify a response body against the block-page signature set.
+func ExampleClassifier_Classify() {
+	cls := fingerprint.NewClassifier()
+
+	body := blockpage.Render(blockpage.Cloudflare, blockpage.Vars{
+		Domain:      "shop.example.com",
+		ClientIP:    "91.108.4.7",
+		CountryName: "Iran",
+		RayID:       "44bfa65f2a8c2b91",
+	})
+
+	kind := cls.Classify(body)
+	fmt.Println(kind)
+	fmt.Println("explicit geoblock:", kind.Explicit())
+
+	// An ordinary page matches nothing.
+	fmt.Println(cls.Classify("<html><body>hello</body></html>"))
+	// Output:
+	// Cloudflare
+	// explicit geoblock: true
+	// none
+}

@@ -1,0 +1,85 @@
+// Package fingerprint is the production block-page classifier: the
+// signatures the paper's semi-automated process extracted from its 119
+// manually examined clusters (§4.1.3), compiled into a matcher that
+// labels a response body with its block-page class.
+//
+// The classifier is evaluated against the template ground truth
+// (blockpage.Matches) in tests; in the pipeline it is what turns raw
+// resampled bodies into geoblocking observations.
+package fingerprint
+
+import (
+	"strings"
+
+	"geoblock/internal/blockpage"
+)
+
+// Signature recognizes one page class: every token must appear in the
+// whitespace-normalized body.
+type Signature struct {
+	Kind   blockpage.Kind
+	Tokens []string
+}
+
+// Classifier matches bodies against an ordered signature set.
+type Classifier struct {
+	sigs []Signature
+}
+
+// NewClassifier compiles the default signature set: one signature per
+// fingerprinted class of Table 2, plus the censorship page (which the
+// pipeline must recognize to *exclude*, not to report).
+func NewClassifier() *Classifier {
+	kinds := append(blockpage.Kinds(), blockpage.Censorship, blockpage.Legal451)
+	sigs := make([]Signature, 0, len(kinds))
+	for _, k := range kinds {
+		tokens := []string{normalize(blockpage.Signature(k))}
+		for _, t := range blockpage.DisambiguatingTokens(k) {
+			tokens = append(tokens, normalize(t))
+		}
+		sigs = append(sigs, Signature{Kind: k, Tokens: tokens})
+	}
+	return &Classifier{sigs: sigs}
+}
+
+// Signatures exposes the compiled set (for documentation tooling).
+func (c *Classifier) Signatures() []Signature { return c.sigs }
+
+// Classify labels body, returning KindNone when nothing matches.
+// Bodies are matched in signature order; signatures are mutually
+// exclusive by construction (verified by tests against every template).
+func (c *Classifier) Classify(body string) blockpage.Kind {
+	nb := normalize(body)
+	for _, s := range c.sigs {
+		if matchAll(nb, s.Tokens) {
+			return s.Kind
+		}
+	}
+	return blockpage.KindNone
+}
+
+// IsBlockPage reports whether body matches any fingerprint at all.
+func (c *Classifier) IsBlockPage(body string) bool {
+	return c.Classify(body) != blockpage.KindNone
+}
+
+// IsExplicitGeoblock reports whether body is one of the five explicit
+// geoblocking pages (§4.1.3): Cloudflare, Amazon CloudFront, Google App
+// Engine, Baidu, Airbnb.
+func (c *Classifier) IsExplicitGeoblock(body string) (blockpage.Kind, bool) {
+	k := c.Classify(body)
+	return k, k.Explicit()
+}
+
+func matchAll(normalized string, tokens []string) bool {
+	for _, t := range tokens {
+		if !strings.Contains(normalized, t) {
+			return false
+		}
+	}
+	return true
+}
+
+func normalize(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,286 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountryTableIntegrity(t *testing.T) {
+	db := NewDB()
+	seen := map[CountryCode]bool{}
+	for _, c := range db.Countries() {
+		if len(c.Code) != 2 {
+			t.Errorf("bad code %q", c.Code)
+		}
+		if seen[c.Code] {
+			t.Errorf("duplicate code %q", c.Code)
+		}
+		seen[c.Code] = true
+		if c.Name == "" {
+			t.Errorf("%s has empty name", c.Code)
+		}
+		if c.GDPTier < 1 || c.GDPTier > 5 {
+			t.Errorf("%s has GDP tier %d", c.Code, c.GDPTier)
+		}
+	}
+}
+
+func TestMeasurableCount(t *testing.T) {
+	db := NewDB()
+	if got := len(db.Measurable()); got != 177 {
+		t.Fatalf("measurable countries = %d, want 177 (as in the paper)", got)
+	}
+}
+
+func TestSanctionedSet(t *testing.T) {
+	db := NewDB()
+	want := map[CountryCode]bool{"IR": true, "SY": true, "SD": true, "CU": true, "KP": true}
+	got := db.Sanctioned()
+	if len(got) != len(want) {
+		t.Fatalf("sanctioned = %v", got)
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Fatalf("unexpected sanctioned country %s", c)
+		}
+	}
+}
+
+func TestNorthKoreaHasNoExits(t *testing.T) {
+	db := NewDB()
+	kp, ok := db.Country("KP")
+	if !ok || kp.LuminatiExits != 0 {
+		t.Fatal("North Korea must exist and have zero proxy exits")
+	}
+	for _, c := range db.Measurable() {
+		if c == "KP" {
+			t.Fatal("North Korea must not be measurable")
+		}
+	}
+}
+
+func TestRangesPartition(t *testing.T) {
+	db := NewDB()
+	rs := db.Ranges()
+	if len(rs) == 0 {
+		t.Fatal("no ranges")
+	}
+	for i, r := range rs {
+		if r.Hi <= r.Lo {
+			t.Fatalf("range %d empty: %+v", i, r)
+		}
+		if i > 0 && r.Lo < rs[i-1].Hi {
+			t.Fatalf("ranges %d and %d overlap", i-1, i)
+		}
+	}
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	db := NewDB()
+	for _, c := range db.Countries() {
+		ip, err := db.HostIP(c.Code, 7)
+		if err != nil {
+			t.Fatalf("HostIP(%s): %v", c.Code, err)
+		}
+		loc, ok := db.Locate(ip)
+		if !ok {
+			t.Fatalf("Locate(%v) failed for %s", ip, c.Code)
+		}
+		if loc.Country != c.Code {
+			t.Fatalf("Locate(%v) = %s, want %s", ip, loc.Country, c.Code)
+		}
+	}
+}
+
+func TestLocateRoundTripProperty(t *testing.T) {
+	db := NewDB()
+	codes := db.Measurable()
+	f := func(ci uint16, n uint64) bool {
+		code := codes[int(ci)%len(codes)]
+		ip, err := db.HostIP(code, n)
+		if err != nil {
+			return false
+		}
+		loc, ok := db.Locate(ip)
+		return ok && loc.Country == code
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocateOutsideAllocation(t *testing.T) {
+	db := NewDB()
+	for _, ip := range []IP{0, 0x01000000, 0xff000000} {
+		if _, ok := db.Locate(ip); ok {
+			t.Fatalf("Locate(%v) should fail outside allocation", ip)
+		}
+	}
+}
+
+func TestCrimeaRange(t *testing.T) {
+	db := NewDB()
+	r := db.CrimeaRange()
+	if r.Country != "UA" || r.Region != RegionCrimea {
+		t.Fatalf("Crimea range wrong: %+v", r)
+	}
+	ip := db.CrimeaHostIP(3)
+	loc, ok := db.Locate(ip)
+	if !ok || loc.Country != "UA" || loc.Region != RegionCrimea {
+		t.Fatalf("Crimea host locates to %+v", loc)
+	}
+	// A plain Ukraine IP must not carry the Crimea tag.
+	ua, err := db.HostIP("UA", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, _ = db.Locate(ua)
+	if loc.Region != "" {
+		t.Fatalf("primary UA host has region %q", loc.Region)
+	}
+}
+
+func TestIPAddrConversion(t *testing.T) {
+	ip := IP(0x08010203)
+	a := ip.Addr()
+	if a.String() != "8.1.2.3" {
+		t.Fatalf("Addr = %v", a)
+	}
+	back, err := ParseIP(a)
+	if err != nil || back != ip {
+		t.Fatalf("round trip failed: %v %v", back, err)
+	}
+}
+
+func TestIPConversionProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, err := ParseIP(ip.Addr())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameFallback(t *testing.T) {
+	db := NewDB()
+	if db.Name("IR") != "Iran" {
+		t.Fatal("known name lookup failed")
+	}
+	if db.Name("XX") != "XX" {
+		t.Fatal("unknown code should echo")
+	}
+}
+
+func TestHostIPUnknownCountry(t *testing.T) {
+	db := NewDB()
+	if _, err := db.HostIP("XX", 0); err == nil {
+		t.Fatal("expected error for unknown country")
+	}
+}
+
+func TestHostIPDistinct(t *testing.T) {
+	db := NewDB()
+	a, _ := db.HostIP("US", 1)
+	b, _ := db.HostIP("US", 2)
+	if a == b {
+		t.Fatal("distinct host indices must yield distinct IPs")
+	}
+}
+
+func TestDeterministicAllocation(t *testing.T) {
+	a := NewDB()
+	b := NewDB()
+	ra, rb := a.Ranges(), b.Ranges()
+	if len(ra) != len(rb) {
+		t.Fatal("allocation not deterministic")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("range %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestAddressClassesDisjoint(t *testing.T) {
+	db := NewDB()
+	for _, cc := range []CountryCode{"US", "IR", "DE", "KM"} {
+		host, err := db.HostIP(cc, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.IsDatacenter(host) || db.IsProxyExit(host) {
+			t.Fatalf("%s residential host misclassified", cc)
+		}
+		dc, err := db.DatacenterIP(cc, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !db.IsDatacenter(dc) || db.IsProxyExit(dc) {
+			t.Fatalf("%s datacenter host misclassified", cc)
+		}
+		px, err := db.ProxyExitIP(cc, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !db.IsProxyExit(px) || db.IsDatacenter(px) {
+			t.Fatalf("%s proxy-exit host misclassified", cc)
+		}
+		// All three classes still geolocate to the country.
+		for _, ip := range []IP{host, dc, px} {
+			loc, ok := db.Locate(ip)
+			if !ok || loc.Country != cc {
+				t.Fatalf("%s address %v geolocates to %v", cc, ip, loc)
+			}
+		}
+	}
+}
+
+func TestAnonymizerSubsetOfDatacenter(t *testing.T) {
+	db := NewDB()
+	found := false
+	for n := uint64(0); n < 64; n++ {
+		ip, err := db.DatacenterIP("US", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.IsAnonymizer(ip) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no anonymizer addresses in 64 datacenter hosts (expect ~1/8)")
+	}
+	host, _ := db.HostIP("US", 1)
+	if db.IsAnonymizer(host) {
+		t.Fatal("residential address flagged as anonymizer")
+	}
+}
+
+func TestAddressClassProperty(t *testing.T) {
+	db := NewDB()
+	codes := db.Measurable()
+	f := func(ci uint16, n uint64) bool {
+		cc := codes[int(ci)%len(codes)]
+		host, err1 := db.HostIP(cc, n)
+		dc, err2 := db.DatacenterIP(cc, n)
+		px, err3 := db.ProxyExitIP(cc, n)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		// Exactly one class per address.
+		classes := 0
+		if db.IsDatacenter(dc) {
+			classes++
+		}
+		if db.IsProxyExit(px) {
+			classes++
+		}
+		return classes == 2 && !db.IsDatacenter(host) && !db.IsProxyExit(host) &&
+			!db.IsProxyExit(dc) && !db.IsDatacenter(px)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

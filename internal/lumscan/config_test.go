@@ -1,0 +1,90 @@
+package lumscan
+
+import (
+	"errors"
+	"testing"
+
+	"geoblock/internal/vnet"
+)
+
+func TestCrossProductShape(t *testing.T) {
+	tasks := CrossProduct(3, 2)
+	if len(tasks) != 6 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+	// Grouped by country so one worker keeps one session.
+	if tasks[0].Country != 0 || tasks[3].Country != 1 {
+		t.Fatalf("ordering wrong: %+v", tasks)
+	}
+	if CrossProduct(0, 5) == nil {
+		// Empty is fine, but must not panic.
+		t.Log("empty cross product")
+	}
+}
+
+func TestDefaultConfigValues(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Samples != 3 || cfg.Phase != "initial" {
+		t.Fatalf("default samples = %d phase = %q", cfg.Samples, cfg.Phase)
+	}
+	if cfg.RequestsPerExit != 10 || cfg.MaxRedirects != 10 {
+		t.Fatal("paper parameters wrong")
+	}
+	if cfg.Headers["Accept-Language"] == "" {
+		t.Fatal("browser header set incomplete")
+	}
+}
+
+func TestZGrabHeadersAreCrawlerLike(t *testing.T) {
+	h := ZGrabHeaders()
+	if h["Accept"] != "" || h["Accept-Language"] != "" {
+		t.Fatal("ZGrab set must be bare")
+	}
+	if h["User-Agent"] == "" {
+		t.Fatal("ZGrab still sets a UA (§3.1)")
+	}
+}
+
+func TestClassifyError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrCode
+	}{
+		{&vnet.OpError{Op: "dns", Msg: "no such host"}, ErrDNS},
+		{&vnet.OpError{Op: "proxy", Msg: "exit failed"}, ErrProxy},
+		{&vnet.OpError{Op: "read", Msg: "reset"}, ErrReset},
+		{errRedirectLimit, ErrRedirects},
+		{errors.New("mystery"), ErrProxy},
+	}
+	for _, tc := range cases {
+		if got := classifyError(tc.err); got != tc.want {
+			t.Errorf("classifyError(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestSampleSeedDistinct(t *testing.T) {
+	a := sampleSeed("a.com", "IR", "initial", 0)
+	b := sampleSeed("a.com", "IR", "initial", 1)
+	c := sampleSeed("a.com", "SY", "initial", 0)
+	d := sampleSeed("b.com", "IR", "initial", 0)
+	e := sampleSeed("a.com", "IR", "resample", 0)
+	seen := map[uint64]bool{}
+	for _, s := range []uint64{a, b, c, d, e} {
+		if seen[s] {
+			t.Fatal("seed collision across sampling dimensions")
+		}
+		seen[s] = true
+	}
+}
+
+func TestSampleOKSemantics(t *testing.T) {
+	s := Sample{Err: ErrNone, Status: 200}
+	if !s.OK() {
+		t.Fatal("ok sample misreported")
+	}
+	s.Err = ErrTimeout
+	if s.OK() {
+		t.Fatal("failed sample misreported")
+	}
+}

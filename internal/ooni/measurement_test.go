@@ -1,0 +1,44 @@
+package ooni
+
+import "testing"
+
+func TestAnomalyRules(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Measurement
+		want bool
+	}{
+		{"local blocked, control ok",
+			Measurement{LocalStatus: 403, ControlStatus: 200}, true},
+		{"both ok",
+			Measurement{LocalStatus: 200, ControlStatus: 200}, false},
+		{"both blocked",
+			Measurement{LocalStatus: 403, ControlStatus: 403}, false},
+		{"local error, control ok",
+			Measurement{LocalErr: true, ControlStatus: 200}, true},
+		{"both error",
+			Measurement{LocalErr: true, ControlErr: true}, false},
+		{"control-only error is inconclusive",
+			Measurement{LocalStatus: 200, ControlErr: true}, false},
+		{"control blocked hides local block",
+			Measurement{LocalStatus: 403, ControlStatus: 403}, false},
+		{"5xx counts as blocked class",
+			Measurement{LocalStatus: 503, ControlStatus: 200}, true},
+	}
+	for _, tc := range cases {
+		if got := anomaly(tc.m); got != tc.want {
+			t.Errorf("%s: anomaly = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestControlBlockedMasksGeoblocking(t *testing.T) {
+	// The paper's §7.1 caveat in miniature: when the Tor control is
+	// itself blocked, a genuinely geoblocked local measurement does not
+	// register as an anomaly — the case is invisible to OONI's verdict
+	// but visible to the fingerprint scan.
+	m := Measurement{LocalStatus: 403, ControlStatus: 403}
+	if anomaly(m) {
+		t.Fatal("masked case should not be an anomaly")
+	}
+}

@@ -1,0 +1,133 @@
+package ooni
+
+import (
+	"sync"
+	"testing"
+
+	"geoblock/internal/worldgen"
+)
+
+var (
+	once       sync.Once
+	testWorld  *worldgen.World
+	testCorpus *Corpus
+	testResult *Analysis
+)
+
+func corpus(t *testing.T) (*worldgen.World, *Corpus, *Analysis) {
+	t.Helper()
+	once.Do(func() {
+		testWorld = worldgen.Generate(worldgen.TestConfig())
+		testCorpus = Synthesize(testWorld, Config{MeasurementsPerPair: 2})
+		testResult = Analyze(testWorld, testCorpus)
+	})
+	return testWorld, testCorpus, testResult
+}
+
+func TestCorpusCoverage(t *testing.T) {
+	_, c, _ := corpus(t)
+	if len(c.Domains) < 50 {
+		t.Fatalf("test list too small: %d", len(c.Domains))
+	}
+	want := len(c.Domains) * len(c.Countries) * 2
+	if len(c.Measurements) != want {
+		t.Fatalf("measurements = %d, want %d", len(c.Measurements), want)
+	}
+}
+
+func TestGeoblockConfoundPresent(t *testing.T) {
+	_, _, a := corpus(t)
+	if a.GeoblockCases == 0 {
+		t.Fatal("no geoblock pages in the censorship corpus; the confound vanished")
+	}
+	frac := float64(a.GeoblockDomains) / float64(a.TestListSize)
+	// Paper: 9% of the global test list (97 of ~1,078 domains).
+	if frac < 0.03 || frac > 0.20 {
+		t.Fatalf("geoblocking domains = %.3f of list (n=%d of %d), want ~0.09",
+			frac, a.GeoblockDomains, a.TestListSize)
+	}
+	if a.GeoblockCountries < 50 {
+		t.Fatalf("geoblock cases in only %d countries (paper: 139)", a.GeoblockCountries)
+	}
+}
+
+func TestCensorshipCountriesAlsoAffected(t *testing.T) {
+	_, _, a := corpus(t)
+	// Paper: instances occur in all 12 countries where OONI identifies
+	// state censorship.
+	if a.CensorCountriesWithCases < 4 {
+		t.Fatalf("geoblock cases in only %d censoring countries", a.CensorCountriesWithCases)
+	}
+}
+
+func TestControlConfusion(t *testing.T) {
+	_, _, a := corpus(t)
+	if a.ControlBlocked403 == 0 {
+		t.Fatal("Tor control never blocked; the paper's main caveat is absent")
+	}
+	// Paper: 36,028 control-403s vs 14,380 local-blocked-control-ok —
+	// the control is blocked more often than the local side.
+	if a.ControlBlocked403 <= a.LocalBlockedCtrlOK {
+		t.Fatalf("control 403s (%d) should exceed local-only blocks (%d)",
+			a.ControlBlocked403, a.LocalBlockedCtrlOK)
+	}
+}
+
+func TestAnomaliesContainGeoblocking(t *testing.T) {
+	_, _, a := corpus(t)
+	if a.AnomalousAll == 0 {
+		t.Fatal("no anomalies at all; censorship is not being observed")
+	}
+	if a.AnomaliesActuallyGeo == 0 {
+		t.Fatal("no anomalies explained by geoblocking; the headline confound is absent")
+	}
+	if a.AnomaliesActuallyGeo >= a.AnomalousAll {
+		t.Fatal("geoblocking cannot explain every anomaly (censorship exists too)")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	w, _, _ := corpus(t)
+	a := Synthesize(w, Config{MeasurementsPerPair: 1, Countries: w.Geo.Measurable()[:10]})
+	b := Synthesize(w, Config{MeasurementsPerPair: 1, Countries: w.Geo.Measurable()[:10]})
+	if len(a.Measurements) != len(b.Measurements) {
+		t.Fatal("measurement counts differ")
+	}
+	for i := range a.Measurements {
+		if a.Measurements[i] != b.Measurements[i] {
+			t.Fatalf("measurement %d differs", i)
+		}
+	}
+}
+
+func TestMeasurementFieldsSane(t *testing.T) {
+	_, c, _ := corpus(t)
+	for _, m := range c.Measurements[:500] {
+		if !m.LocalErr && m.LocalStatus == 0 {
+			t.Fatalf("ok local measurement without status: %+v", m)
+		}
+		if m.LocalErr && m.LocalKind != 0 {
+			t.Fatalf("failed local measurement with a body kind: %+v", m)
+		}
+	}
+}
+
+func TestCaseBreakdowns(t *testing.T) {
+	_, _, a := corpus(t)
+	var byCountry, byKind int
+	for _, n := range a.CasesByCountry {
+		byCountry += n
+	}
+	for _, n := range a.CasesByKind {
+		byKind += n
+	}
+	if byCountry != a.GeoblockCases || byKind != a.GeoblockCases {
+		t.Fatalf("breakdowns do not sum: country=%d kind=%d total=%d",
+			byCountry, byKind, a.GeoblockCases)
+	}
+	for k := range a.CasesByKind {
+		if !k.Explicit() {
+			t.Fatalf("non-explicit kind %v in the case breakdown", k)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package outlier_test
+
+import (
+	"fmt"
+
+	"geoblock/internal/outlier"
+)
+
+// The paper's length heuristic: observe reference samples, then flag
+// anything at least 30% shorter than the longest instance seen.
+func ExampleRepresentative() {
+	rep := outlier.NewRepresentative()
+
+	// Reference samples from the top-20 blocking countries.
+	const domain = 7
+	rep.Observe(domain, 18200) // full page
+	rep.Observe(domain, 18950) // full page, more dynamic content
+	rep.Observe(domain, 1620)  // a block page slipped into the references
+
+	fmt.Println("representative:", rep.Length(domain))
+	fmt.Println("block page is outlier:", rep.IsOutlier(domain, 1620, outlier.DefaultCutoff))
+	fmt.Println("full page is outlier:", rep.IsOutlier(domain, 18400, outlier.DefaultCutoff))
+
+	diff, _ := rep.RelativeDifference(domain, 1620)
+	fmt.Printf("relative difference: %.2f\n", diff)
+	// Output:
+	// representative: 18950
+	// block page is outlier: true
+	// full page is outlier: false
+	// relative difference: 0.91
+}

@@ -1,0 +1,69 @@
+// Package outlier implements the page-length heuristic the paper uses
+// to shrink 1.4M samples to a clusterable candidate set (§4.1.2),
+// following Jones et al.: pick a representative length per domain (the
+// longest instance observed, optionally restricted to a subset of
+// reference countries) and extract every sample at least 30% shorter.
+package outlier
+
+// DefaultCutoff is the paper's relative length threshold: a sample is a
+// candidate block page when it is ≥30% shorter than the representative.
+const DefaultCutoff = 0.30
+
+// Representative tracks the per-domain representative length: the
+// longest instance of the page seen across the reference samples.
+type Representative struct {
+	lengths map[int32]int // domain index → max length
+}
+
+// NewRepresentative returns an empty tracker.
+func NewRepresentative() *Representative {
+	return &Representative{lengths: make(map[int32]int)}
+}
+
+// Observe feeds one reference sample's body length.
+func (r *Representative) Observe(domain int32, length int) {
+	if length > r.lengths[domain] {
+		r.lengths[domain] = length
+	}
+}
+
+// Length returns the representative length for domain (0 if none
+// observed — every comparison against it fails open, extracting
+// nothing, which matches the paper's conservative handling of domains
+// with no usable reference).
+func (r *Representative) Length(domain int32) int { return r.lengths[domain] }
+
+// Domains returns how many domains have a representative.
+func (r *Representative) Domains() int { return len(r.lengths) }
+
+// IsOutlier applies the relative-length test: true when length is more
+// than cutoff shorter than the representative for domain.
+func (r *Representative) IsOutlier(domain int32, length int, cutoff float64) bool {
+	rep := r.lengths[domain]
+	if rep == 0 {
+		return false
+	}
+	return float64(length) < float64(rep)*(1-cutoff)
+}
+
+// RelativeDifference returns (rep−len)/rep, the x-axis of Figure 2
+// (negative when the sample is longer than the representative). ok is
+// false when the domain has no representative.
+func (r *Representative) RelativeDifference(domain int32, length int) (float64, bool) {
+	rep := r.lengths[domain]
+	if rep == 0 {
+		return 0, false
+	}
+	return float64(rep-length) / float64(rep), true
+}
+
+// IsOutlierRaw is the ablation comparator the paper argues against
+// (§4.1.5): an absolute byte-difference cutoff, which "excessively
+// penalizes long pages".
+func (r *Representative) IsOutlierRaw(domain int32, length int, deltaBytes int) bool {
+	rep := r.lengths[domain]
+	if rep == 0 {
+		return false
+	}
+	return rep-length > deltaBytes
+}

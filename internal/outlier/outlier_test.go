@@ -1,0 +1,119 @@
+package outlier
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRepresentativeTracksMax(t *testing.T) {
+	r := NewRepresentative()
+	r.Observe(1, 100)
+	r.Observe(1, 300)
+	r.Observe(1, 200)
+	if r.Length(1) != 300 {
+		t.Fatalf("rep = %d", r.Length(1))
+	}
+	if r.Length(2) != 0 {
+		t.Fatal("unobserved domain should be 0")
+	}
+	if r.Domains() != 1 {
+		t.Fatalf("domains = %d", r.Domains())
+	}
+}
+
+func TestIsOutlierCutoff(t *testing.T) {
+	r := NewRepresentative()
+	r.Observe(7, 1000)
+	cases := []struct {
+		length int
+		want   bool
+	}{
+		{699, true},   // 30.1% shorter
+		{700, false},  // exactly 30% shorter — boundary is exclusive
+		{999, false},  // barely shorter
+		{1000, false}, // equal
+		{1500, false}, // longer
+		{1, true},
+	}
+	for _, tc := range cases {
+		if got := r.IsOutlier(7, tc.length, DefaultCutoff); got != tc.want {
+			t.Errorf("IsOutlier(%d) = %v, want %v", tc.length, got, tc.want)
+		}
+	}
+}
+
+func TestNoRepresentativeNeverOutlier(t *testing.T) {
+	r := NewRepresentative()
+	if r.IsOutlier(9, 1, DefaultCutoff) {
+		t.Fatal("domain without representative must not flag")
+	}
+	if r.IsOutlierRaw(9, 1, 10) {
+		t.Fatal("raw variant must also fail open")
+	}
+	if _, ok := r.RelativeDifference(9, 1); ok {
+		t.Fatal("RelativeDifference must report missing rep")
+	}
+}
+
+func TestRelativeDifference(t *testing.T) {
+	r := NewRepresentative()
+	r.Observe(1, 1000)
+	d, ok := r.RelativeDifference(1, 400)
+	if !ok || d != 0.6 {
+		t.Fatalf("diff = %v, %v", d, ok)
+	}
+	d, _ = r.RelativeDifference(1, 1200)
+	if d != -0.2 {
+		t.Fatalf("longer sample diff = %v", d)
+	}
+}
+
+func TestRawOutlier(t *testing.T) {
+	r := NewRepresentative()
+	r.Observe(3, 10000)
+	if !r.IsOutlierRaw(3, 7000, 2000) {
+		t.Fatal("3000-byte gap should exceed 2000")
+	}
+	if r.IsOutlierRaw(3, 9000, 2000) {
+		t.Fatal("1000-byte gap should not exceed 2000")
+	}
+}
+
+func TestOutlierMonotoneProperty(t *testing.T) {
+	// If a length is an outlier, every shorter length is too.
+	r := NewRepresentative()
+	r.Observe(5, 50000)
+	f := func(a, b uint16) bool {
+		la, lb := int(a), int(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		if r.IsOutlier(5, lb, DefaultCutoff) && !r.IsOutlier(5, la, DefaultCutoff) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutoffSweep(t *testing.T) {
+	// Larger cutoffs extract fewer samples (used by the §4.1.5 sweep).
+	r := NewRepresentative()
+	r.Observe(1, 10000)
+	lengths := []int{1000, 3000, 5000, 6500, 8000, 9500}
+	prev := len(lengths) + 1
+	for _, cut := range []float64{0.05, 0.30, 0.50, 0.80} {
+		n := 0
+		for _, l := range lengths {
+			if r.IsOutlier(1, l, cut) {
+				n++
+			}
+		}
+		if n > prev {
+			t.Fatalf("cutoff %v extracted more (%d) than smaller cutoff (%d)", cut, n, prev)
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,165 @@
+package papertables
+
+import (
+	"strings"
+	"testing"
+
+	"geoblock/internal/analysis"
+	"geoblock/internal/blockpage"
+	"geoblock/internal/category"
+	"geoblock/internal/cfrules"
+	"geoblock/internal/consistency"
+	"geoblock/internal/geo"
+	"geoblock/internal/ooni"
+	"geoblock/internal/pipeline"
+)
+
+var db = geo.NewDB()
+
+func TestPrintTable1(t *testing.T) {
+	var b strings.Builder
+	PrintTable1(&b, analysis.Table1{
+		InitialDomains: 10000, SafeDomains: 8003, InitialSamples: 1416531,
+		ClusteredPages: 24381, Clusters: 119, DiscoveredProviders: 7,
+	})
+	for _, want := range []string{"Table 1", "10000", "8003", "1416531", "24381", "119", "7"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestPrintTable2(t *testing.T) {
+	var b strings.Builder
+	rows := []analysis.Table2Row{
+		{Kind: blockpage.Akamai, Recalled: 1446, Actual: 3313},
+		{Kind: blockpage.Cloudflare, Recalled: 406, Actual: 433},
+	}
+	PrintTable2(&b, rows, analysis.Table2Row{Recalled: 1852, Actual: 3746})
+	out := b.String()
+	for _, want := range []string{"Akamai", "43.6%", "Cloudflare", "93.8%", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintCountryCDNCollapsesTail(t *testing.T) {
+	var rows []analysis.CountryCDNRow
+	for _, cc := range []geo.CountryCode{"SY", "IR", "SD", "CU", "CN", "NG", "RU", "BR", "IQ", "PK", "DE", "FR", "JP"} {
+		rows = append(rows, analysis.CountryCDNRow{
+			Country: cc,
+			PerKind: map[blockpage.Kind]int{blockpage.Cloudflare: 2},
+			Total:   2,
+		})
+	}
+	var b strings.Builder
+	PrintCountryCDN(&b, "Table 6", db, rows, 10)
+	out := b.String()
+	if !strings.Contains(out, "Other") {
+		t.Fatal("tail not collapsed into Other")
+	}
+	if !strings.Contains(out, "Syria") || strings.Contains(out, "Japan") {
+		t.Fatalf("row selection wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "Total") {
+		t.Fatal("totals row missing")
+	}
+}
+
+func TestPrintCategoryRates(t *testing.T) {
+	var b strings.Builder
+	PrintCategoryRates(&b, "Table 4", []analysis.CategoryRateRow{
+		{Category: category.Shopping, Tested: 787, Geoblocked: 29},
+		{Category: category.Business, Tested: 758, Geoblocked: 13},
+	})
+	out := b.String()
+	if !strings.Contains(out, "Shopping") || !strings.Contains(out, "29 (3.7%)") {
+		t.Fatalf("rates wrong:\n%s", out)
+	}
+}
+
+func TestPrintExplorationAndOONI(t *testing.T) {
+	var b strings.Builder
+	PrintExploration(&b, &pipeline.ExploreResult{
+		NSCloudflare: 2171, NSAkamai: 4111, Iran403: 707, US403: 69,
+		PairsBlockpage: 1068, GenuinePairs: 782, FalsePositives: 286,
+		FalsePositivesAkamai: 286, UniqueDomains: 269,
+	})
+	if !strings.Contains(b.String(), "707") || !strings.Contains(b.String(), "26.8%") {
+		t.Fatalf("exploration table wrong:\n%s", b.String())
+	}
+
+	b.Reset()
+	PrintOONI(&b, &ooni.Analysis{
+		TotalMeasurements: 87000000, GeoblockCases: 8313, GeoblockCountries: 139,
+		GeoblockDomains: 97, TestListSize: 1078, CensorCountriesWithCases: 12,
+		ControlBlocked403: 36028, LocalBlockedCtrlOK: 14380,
+		AnomalousAll: 50000, AnomaliesActuallyGeo: 8000,
+	})
+	for _, want := range []string{"8313", "139", "97 of 1078", "36028", "14380"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("OONI table missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestPrintExtensions(t *testing.T) {
+	var b strings.Builder
+	PrintTimeouts(&b, &pipeline.TimeoutResult{
+		CandidateDomains: 3,
+		Findings: []pipeline.TimeoutFinding{
+			{DomainName: "drop.example", Countries: []geo.CountryCode{"RU", "CN"}, CensorOverlap: []geo.CountryCode{"CN"}},
+		},
+	})
+	if !strings.Contains(b.String(), "drop.example") || !strings.Contains(b.String(), "RU CN") {
+		t.Fatalf("timeouts table wrong:\n%s", b.String())
+	}
+
+	b.Reset()
+	PrintAppLayer(&b, &pipeline.AppLayerResult{
+		DomainsTested: 100,
+		Findings: []pipeline.AppLayerFinding{
+			{DomainName: "shop.example", Country: "IR", MissingLinks: []string{"/checkout"}, NoticeAdded: true},
+			{DomainName: "shop.example", Country: "BR", PriceRatio: 1.4},
+		},
+	})
+	out := b.String()
+	if !strings.Contains(out, "/checkout") || !strings.Contains(out, "price ×1.40") {
+		t.Fatalf("app-layer table wrong:\n%s", out)
+	}
+
+	b.Reset()
+	PrintRegional(&b, []pipeline.RegionalFinding{
+		{DomainName: "geniusdisplay.com", Kind: blockpage.AppEngine, RegionRate: 1, MainlandRate: 0},
+	})
+	if !strings.Contains(b.String(), "geniusdisplay.com") || !strings.Contains(b.String(), "100.0%") {
+		t.Fatalf("regional table wrong:\n%s", b.String())
+	}
+}
+
+func TestPrintCloudflareTable9Smoke(t *testing.T) {
+	ds := cfrules.Synthesize(7, 0.05)
+	var b strings.Builder
+	PrintCloudflareTable9(&b, db, ds)
+	out := b.String()
+	if !strings.Contains(out, "Baseline") || !strings.Contains(out, "Enterprise") {
+		t.Fatalf("table 9 wrong:\n%s", out)
+	}
+}
+
+func TestFindingsSummary(t *testing.T) {
+	var b strings.Builder
+	r := &pipeline.Top10KResult{
+		Findings: []pipeline.Finding{
+			{DomainName: "a.example", Country: "IR", Kind: blockpage.Cloudflare,
+				Rate: consistency.Rate{Responses: 23, Blocks: 23}},
+		},
+		Eliminated: 5,
+	}
+	r.Config.Threshold = 0.8
+	FindingsSummary(&b, r)
+	if !strings.Contains(b.String(), "1 instances") || !strings.Contains(b.String(), "5 pairs eliminated") {
+		t.Fatalf("summary wrong:\n%s", b.String())
+	}
+}

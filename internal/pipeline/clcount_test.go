@@ -1,0 +1,52 @@
+package pipeline
+
+import (
+	"testing"
+
+	"geoblock/internal/blockpage"
+)
+
+func TestClusterCountReviewable(t *testing.T) {
+	// The paper examined 119 clusters by hand. Our corpus must collapse
+	// to a hand-reviewable count: block-page classes plus a handful of
+	// junk clusters plus stragglers — not thousands of per-site groups.
+	_, r := top10K(t)
+	if len(r.Clusters) > 300 {
+		t.Fatalf("%d clusters from %d outliers; not hand-reviewable (paper: 119)",
+			len(r.Clusters), len(r.Outliers))
+	}
+	if len(r.Clusters) < 10 {
+		t.Fatalf("only %d clusters; the corpus collapsed too far", len(r.Clusters))
+	}
+	// The largest clusters must dominate the corpus.
+	top, total := 0, 0
+	for i, c := range r.Clusters {
+		if i < 20 {
+			top += c.Size()
+		}
+		total += c.Size()
+	}
+	if float64(top) < 0.8*float64(total) {
+		t.Fatalf("top-20 clusters cover only %d of %d outliers", top, total)
+	}
+}
+
+func TestCensorshipClustersNotDiscovered(t *testing.T) {
+	// Censorship pages form their own cluster during examination, but
+	// must never be "discovered" as a CDN block page class.
+	_, r := top10K(t)
+	censorLabeled := false
+	for _, k := range r.ClusterKinds {
+		if k == blockpage.Censorship {
+			censorLabeled = true
+		}
+	}
+	for _, k := range r.DiscoveredKinds {
+		if k == blockpage.Censorship {
+			t.Fatal("censorship page treated as a geoblocking discovery")
+		}
+	}
+	if !censorLabeled {
+		t.Log("no censorship cluster at this scale (allowed)")
+	}
+}

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"testing"
+
+	"geoblock/internal/blockpage"
+	"geoblock/internal/geo"
+	"geoblock/internal/worldgen"
+)
+
+func TestAnalyzeTimeouts(t *testing.T) {
+	s, r := top10K(t)
+	res := s.AnalyzeTimeouts(r, 8)
+	// Ground truth: which safe domains actually timeout-geoblock?
+	truth := map[string][]geo.CountryCode{}
+	for _, name := range r.SafeDomains {
+		d, _ := s.World.Lookup(name)
+		if d == nil || len(d.TimeoutBlock) == 0 {
+			continue
+		}
+		var cs []geo.CountryCode
+		for cc := range d.TimeoutBlock {
+			cs = append(cs, cc)
+		}
+		truth[name] = cs
+	}
+	if len(truth) == 0 {
+		t.Skip("no timeout geoblockers at this scale")
+	}
+	if len(res.Findings) == 0 {
+		t.Fatalf("%d true timeout geoblockers but none found (candidates: %d)",
+			len(truth), res.CandidateDomains)
+	}
+	for _, f := range res.Findings {
+		d, ok := s.World.Lookup(f.DomainName)
+		if !ok {
+			t.Fatalf("finding names unknown domain %s", f.DomainName)
+		}
+		for _, cc := range f.Countries {
+			if !d.TimeoutBlock[cc] && !d.CensoredIn[cc] && !d.Unreachable {
+				t.Errorf("%s: %s flagged but no timeout rule exists", f.DomainName, cc)
+			}
+		}
+	}
+}
+
+func TestAppLayerStudy(t *testing.T) {
+	s, r := top10K(t)
+	// Candidates: domains with an app-layer policy (the study would
+	// normally sweep everything; testing the true positives keeps this
+	// fast).
+	var domains []string
+	restricted := map[string]map[geo.CountryCode]bool{}
+	for _, name := range r.SafeDomains {
+		d, _ := s.World.Lookup(name)
+		if d == nil || d.AppLayer == nil || d.Unreachable || len(d.CensoredIn) > 0 {
+			continue
+		}
+		domains = append(domains, name)
+		restricted[name] = d.AppLayer.RestrictedIn
+		if len(domains) >= 8 {
+			break
+		}
+	}
+	if len(domains) == 0 {
+		t.Skip("no app-layer domains at this scale")
+	}
+	targets := []geo.CountryCode{"IR", "SY", "CN", "RU", "BR", "IN"}
+	res := s.RunAppLayerStudy(domains, "US", targets)
+	if len(res.Findings) == 0 {
+		t.Fatal("no app-layer discrimination detected despite true positives")
+	}
+	for _, f := range res.Findings {
+		d, _ := s.World.Lookup(f.DomainName)
+		if d == nil || d.AppLayer == nil {
+			t.Fatalf("finding on domain without a policy: %s", f.DomainName)
+		}
+		if f.NoticeAdded || len(f.MissingLinks) > 0 {
+			if !d.AppLayer.RestrictedIn[f.Country] {
+				t.Errorf("%s/%s: feature removal flagged without a restriction", f.DomainName, f.Country)
+			}
+		}
+		if f.PriceRatio > 1.02 {
+			if _, ok := d.AppLayer.PriceMarkup[f.Country]; !ok {
+				t.Errorf("%s/%s: markup flagged without a policy", f.DomainName, f.Country)
+			}
+		}
+	}
+}
+
+func TestAppLayerNoFalsePositives(t *testing.T) {
+	s, r := top10K(t)
+	// Plain domains must produce no findings.
+	var domains []string
+	for _, name := range r.SafeDomains {
+		d, _ := s.World.Lookup(name)
+		if d == nil || d.AppLayer != nil || d.Unreachable || len(d.CensoredIn) > 0 ||
+			len(d.GeoRules) > 0 || d.GAEHosted || d.AirbnbStyle {
+			continue
+		}
+		domains = append(domains, name)
+		if len(domains) >= 10 {
+			break
+		}
+	}
+	res := s.RunAppLayerStudy(domains, "US", []geo.CountryCode{"IR", "CN", "DE"})
+	if len(res.Findings) != 0 {
+		t.Fatalf("false positives: %+v", res.Findings)
+	}
+}
+
+func TestRegionalAnalysis(t *testing.T) {
+	s, _ := top10K(t)
+	// geniusdisplay.com: AppEngine page from Crimea only; airbnb.fr the
+	// same; a plain domain as control.
+	var plain string
+	for _, d := range s.World.Top10K() {
+		if len(d.GeoRules) == 0 && !d.GAEHosted && !d.AirbnbStyle && !d.Unreachable &&
+			len(d.CensoredIn) == 0 && d.JunkRate == 0 && len(d.TimeoutBlock) == 0 {
+			plain = d.Name
+			break
+		}
+	}
+	findings := s.RunRegionalAnalysis([]string{"geniusdisplay.com", "airbnb.fr", plain}, 12)
+	byName := map[string]RegionalFinding{}
+	for _, f := range findings {
+		byName[f.DomainName] = f
+	}
+	gd, ok := byName["geniusdisplay.com"]
+	if !ok {
+		t.Fatal("geniusdisplay.com region-granular block not detected")
+	}
+	if gd.Kind != blockpage.AppEngine {
+		t.Fatalf("geniusdisplay kind = %v", gd.Kind)
+	}
+	if _, ok := byName["airbnb.fr"]; !ok {
+		t.Fatal("airbnb.fr Crimea block not detected")
+	}
+	if _, ok := byName[plain]; ok {
+		t.Fatalf("control domain %s misdetected", plain)
+	}
+}
+
+func TestWorldHasExtensionPolicies(t *testing.T) {
+	w := worldgen.Generate(worldgen.TestConfig())
+	timeouts, applayers := 0, 0
+	for _, d := range w.Top10K() {
+		if len(d.TimeoutBlock) > 0 {
+			timeouts++
+			if d.Providers[0].IsCDN() {
+				t.Fatalf("%s: CDN-fronted site with a timeout rule", d.Name)
+			}
+		}
+		if d.AppLayer != nil {
+			applayers++
+		}
+	}
+	if timeouts == 0 {
+		t.Fatal("no timeout geoblockers generated")
+	}
+	if applayers == 0 {
+		t.Fatal("no app-layer policies generated")
+	}
+}

@@ -1,0 +1,177 @@
+// Package pipeline is the paper's semi-automated geoblocking detection
+// system, end to end: safe-list filtering, the initial Lumscan snapshot,
+// page-length outlier extraction, TF-IDF clustering with (simulated)
+// manual cluster labeling, signature-driven identification of candidate
+// pairs, targeted resampling, and the 80%-agreement confirmation step —
+// for both the Alexa Top-10K study (§4) and the Top-1M CDN-customer
+// study (§5), plus the §3.1 VPS exploration.
+package pipeline
+
+import (
+	"sort"
+
+	"geoblock/internal/blockpage"
+	"geoblock/internal/consistency"
+	"geoblock/internal/fingerprint"
+	"geoblock/internal/geo"
+	"geoblock/internal/lumscan"
+	"geoblock/internal/proxy"
+	"geoblock/internal/stats"
+	"geoblock/internal/worldgen"
+)
+
+// Study bundles the measurement infrastructure: the world under
+// measurement, the residential proxy mesh, and the block-page
+// classifier (which, in the paper's chronology, exists because an
+// earlier run of the clustering stage discovered the signatures).
+type Study struct {
+	World      *worldgen.World
+	Net        *proxy.Network
+	Classifier *fingerprint.Classifier
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// New assembles a study over w with a fresh proxy mesh.
+func New(w *worldgen.World) *Study {
+	return &Study{
+		World:      w,
+		Net:        proxy.NewNetwork(w),
+		Classifier: fingerprint.NewClassifier(),
+	}
+}
+
+func (s *Study) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+// Finding is one confirmed geoblocking observation: a (domain, country)
+// pair that served an explicit geoblock page in at least the threshold
+// fraction of its samples.
+type Finding struct {
+	DomainName string
+	Rank       int
+	Country    geo.CountryCode
+	Kind       blockpage.Kind
+	Rate       consistency.Rate
+}
+
+// pairKey identifies a (domain, country) pair within one scan result.
+type pairKey struct {
+	domain  int32
+	country int16
+}
+
+// candidate accumulates the evidence for one pair during resampling.
+type candidate struct {
+	kind blockpage.Kind
+	rate consistency.Rate
+}
+
+// explicitKind reports the explicit geoblock page class of a body, or
+// KindNone.
+func (s *Study) explicitKind(body string) blockpage.Kind {
+	if body == "" {
+		return blockpage.KindNone
+	}
+	k, explicit := s.Classifier.IsExplicitGeoblock(body)
+	if !explicit {
+		return blockpage.KindNone
+	}
+	return k
+}
+
+// measurableCountries returns the study's country set (the 177 of
+// §4.1.1).
+func (s *Study) measurableCountries() []geo.CountryCode {
+	return s.World.Geo.Measurable()
+}
+
+// collectPairRates folds scan samples into per-pair rates for the given
+// per-pair expected kind. A sample counts as a response when it carried
+// any HTTP status; it counts as a block when its body classifies to the
+// pair's kind.
+func (s *Study) collectPairRates(res *lumscan.Result, kinds map[pairKey]blockpage.Kind, into map[pairKey]*candidate) {
+	for i := range res.Samples {
+		sm := &res.Samples[i]
+		key := pairKey{sm.Domain, sm.Country}
+		kind, tracked := kinds[key]
+		if !tracked {
+			continue
+		}
+		c := into[key]
+		if c == nil {
+			c = &candidate{kind: kind}
+			into[key] = c
+		}
+		if !sm.OK() {
+			continue
+		}
+		c.rate.Responses++
+		if sm.Body != "" && s.Classifier.Classify(sm.Body) == kind {
+			c.rate.Blocks++
+		}
+	}
+}
+
+// rankCountriesByBlocking runs the auxiliary pre-experiment of §4.1.2:
+// sample the NS-detectable Cloudflare and Akamai customers within the
+// safe set from every country and rank countries by how many 403s come
+// back. The top of that ranking selects the reference countries for
+// representative page lengths.
+func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, countries []geo.CountryCode, samples int) []geo.CountryCode {
+	var auxDomains []string
+	for i, rank := range safeRanks {
+		d := s.World.DomainAt(rank)
+		if d != nil && d.NSDetectable {
+			auxDomains = append(auxDomains, safeDomains[i])
+		}
+		if len(auxDomains) >= 300 {
+			break
+		}
+	}
+	if len(auxDomains) == 0 {
+		// Degenerate small worlds: fall back to a slice of the safe set.
+		n := len(safeDomains)
+		if n > 100 {
+			n = 100
+		}
+		auxDomains = safeDomains[:n]
+	}
+
+	cfg := lumscan.DefaultConfig()
+	cfg.Samples = samples
+	cfg.Phase = "country-rank"
+	cfg.KeepBody = func(int, int) bool { return false }
+	res := lumscan.Scan(s.Net, auxDomains, countries, lumscan.CrossProduct(len(auxDomains), len(countries)), cfg)
+
+	counts := make([]int, len(countries))
+	for i := range res.Samples {
+		sm := &res.Samples[i]
+		if sm.OK() && sm.Status == 403 {
+			counts[sm.Country]++
+		}
+	}
+	idx := make([]int, len(countries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if counts[idx[a]] != counts[idx[b]] {
+			return counts[idx[a]] > counts[idx[b]]
+		}
+		return countries[idx[a]] < countries[idx[b]]
+	})
+	out := make([]geo.CountryCode, len(countries))
+	for i, j := range idx {
+		out[i] = countries[j]
+	}
+	return out
+}
+
+// studyRNG derives the deterministic RNG for sampling decisions.
+func (s *Study) studyRNG(label string) *stats.RNG {
+	return stats.NewRNG(s.World.Cfg.Seed).Fork("pipeline").Fork(label)
+}

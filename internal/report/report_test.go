@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"geoblock/internal/stats"
+)
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	Table(&b, "Demo", []string{"Country", "Count"}, [][]string{
+		{"Syria", "71"},
+		{"Iran", "67"},
+	})
+	out := b.String()
+	for _, want := range []string{"Demo", "Country", "Syria", "71", "Iran"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "\"x,y\"") {
+		t.Fatalf("comma not quoted:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := SeriesCSV(&b, []stats.Series{
+		{Name: "s1", Points: []stats.Point{{X: 1, Y: 0.5}, {X: 2, Y: 1}}},
+		{Name: "s2", Points: []stats.Point{{X: 1, Y: 0.1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "\n") != 4 { // header + 3 points
+		t.Fatalf("line count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "s1,1,0.5") {
+		t.Fatalf("point row missing:\n%s", out)
+	}
+}
+
+func TestChart(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, "CDF", []stats.Series{
+		{Name: "rates", Points: []stats.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0.6}, {X: 1, Y: 1}}},
+	}, 40, 8)
+	out := b.String()
+	if !strings.Contains(out, "CDF") || !strings.Contains(out, "*") {
+		t.Fatalf("chart missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "rates") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, "empty", nil, 40, 8)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, "flat", []stats.Series{
+		{Name: "konst", Points: []stats.Point{{X: 1, Y: 5}, {X: 2, Y: 5}}},
+	}, 30, 5)
+	if b.Len() == 0 {
+		t.Fatal("flat series should still render")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Itoa(42) != "42" {
+		t.Fatal("Itoa broken")
+	}
+	if PctStr(0.583) != "58.3%" {
+		t.Fatal("PctStr broken")
+	}
+}

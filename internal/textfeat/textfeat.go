@@ -1,0 +1,191 @@
+// Package textfeat builds term-frequency/inverse-document-frequency
+// feature vectors over word 1- and 2-grams — the scikit-learn
+// vectorization the paper feeds into hierarchical clustering (§4.1.3),
+// reimplemented on sparse vectors.
+package textfeat
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse, L2-normalized feature vector. Indices are sorted
+// ascending and unique.
+type Vector struct {
+	Idx []int32
+	Val []float32
+}
+
+// NNZ returns the number of non-zero entries.
+func (v Vector) NNZ() int { return len(v.Idx) }
+
+// Cosine returns the cosine similarity of two normalized vectors, in
+// [0, 1] for non-negative features (TF-IDF weights are non-negative).
+func Cosine(a, b Vector) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] == b.Idx[j]:
+			dot += float64(a.Val[i]) * float64(b.Val[j])
+			i++
+			j++
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if dot > 1 {
+		dot = 1 // guard against float drift
+	}
+	return dot
+}
+
+// Tokenize lowercases the document and splits it into alphanumeric word
+// tokens; markup punctuation separates tokens, mirroring sklearn's
+// default token pattern closely enough for block-page boilerplate.
+//
+// Tokens containing digits collapse to a placeholder: ray IDs,
+// reference numbers, incident IDs, client addresses and cache-buster
+// nonces are the parts of a block page that vary per request, and
+// collapsing them keeps two renders of the same template near-identical
+// regardless of the corpus's IDF profile. (Jones et al.'s page
+// fingerprinting does the equivalent masking.)
+func Tokenize(doc string) []string {
+	var tokens []string
+	var cur strings.Builder
+	hasDigit := false
+	flush := func() {
+		switch {
+		case cur.Len() < 2: // sklearn's default drops 1-char tokens
+		case hasDigit:
+			tokens = append(tokens, "0")
+		default:
+			tokens = append(tokens, cur.String())
+		}
+		cur.Reset()
+		hasDigit = false
+	}
+	for i := 0; i < len(doc); i++ {
+		c := doc[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			cur.WriteByte(c)
+		case c >= '0' && c <= '9':
+			cur.WriteByte(c)
+			hasDigit = true
+		case c >= 'A' && c <= 'Z':
+			cur.WriteByte(c - 'A' + 'a')
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// NGrams expands tokens into 1-grams and 2-grams.
+func NGrams(tokens []string) []string {
+	out := make([]string, 0, 2*len(tokens))
+	out = append(out, tokens...)
+	for i := 0; i+1 < len(tokens); i++ {
+		out = append(out, tokens[i]+" "+tokens[i+1])
+	}
+	return out
+}
+
+// maxDocTokens caps the tokens considered per document: block pages are
+// short, and capping keeps accidental megabyte origin pages from
+// dominating fitting time.
+const maxDocTokens = 4000
+
+// Vectorizer fits a vocabulary with document frequencies over a corpus
+// and transforms documents into TF-IDF vectors (smooth IDF, L2 norm —
+// sklearn's TfidfVectorizer defaults).
+type Vectorizer struct {
+	vocab map[string]int32
+	idf   []float64
+	nDocs int
+}
+
+// Fit learns the vocabulary and document frequencies from docs.
+func Fit(docs []string) *Vectorizer {
+	v := &Vectorizer{vocab: make(map[string]int32)}
+	df := []int32{}
+	seen := make(map[int32]bool)
+	for _, doc := range docs {
+		v.nDocs++
+		clear(seen)
+		for _, g := range docGrams(doc) {
+			id, ok := v.vocab[g]
+			if !ok {
+				id = int32(len(df))
+				v.vocab[g] = id
+				df = append(df, 0)
+			}
+			if !seen[id] {
+				seen[id] = true
+				df[id]++
+			}
+		}
+	}
+	v.idf = make([]float64, len(df))
+	for i, d := range df {
+		// Smooth IDF: ln((1+n)/(1+df)) + 1.
+		v.idf[i] = math.Log(float64(1+v.nDocs)/float64(1+d)) + 1
+	}
+	return v
+}
+
+func docGrams(doc string) []string {
+	toks := Tokenize(doc)
+	if len(toks) > maxDocTokens {
+		toks = toks[:maxDocTokens]
+	}
+	return NGrams(toks)
+}
+
+// VocabSize returns the number of fitted terms.
+func (v *Vectorizer) VocabSize() int { return len(v.vocab) }
+
+// Transform converts one document into a TF-IDF vector using the fitted
+// vocabulary; unseen terms are ignored (sklearn behaviour).
+func (v *Vectorizer) Transform(doc string) Vector {
+	counts := make(map[int32]int)
+	for _, g := range docGrams(doc) {
+		if id, ok := v.vocab[g]; ok {
+			counts[id]++
+		}
+	}
+	idx := make([]int32, 0, len(counts))
+	for id := range counts {
+		idx = append(idx, id)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	val := make([]float32, len(idx))
+	var norm float64
+	for i, id := range idx {
+		w := float64(counts[id]) * v.idf[id]
+		val[i] = float32(w)
+		norm += w * w
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(norm))
+		for i := range val {
+			val[i] *= inv
+		}
+	}
+	return Vector{Idx: idx, Val: val}
+}
+
+// FitTransform fits on docs and returns their vectors.
+func FitTransform(docs []string) (*Vectorizer, []Vector) {
+	v := Fit(docs)
+	out := make([]Vector, len(docs))
+	for i, d := range docs {
+		out[i] = v.Transform(d)
+	}
+	return v, out
+}

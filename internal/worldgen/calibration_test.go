@@ -1,0 +1,109 @@
+package worldgen
+
+import (
+	"testing"
+
+	"geoblock/internal/category"
+	"geoblock/internal/geo"
+)
+
+// TestPaperScaleCalibration pins the generated world's ground truth to
+// the paper's aggregates at full scale. World generation is fast
+// (~0.3 s), so this regression net runs in every suite: a calibration
+// drift that would silently bend EXPERIMENTS.md fails here first.
+func TestPaperScaleCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation skipped in -short mode")
+	}
+	w := Generate(DefaultConfig())
+
+	// Exact provider populations (§4.2.1).
+	counts := map[Provider]int{}
+	for _, d := range w.Top10K() {
+		for _, p := range d.Providers {
+			counts[p]++
+		}
+	}
+	for p, want := range map[Provider]int{
+		Cloudflare: 1394, CloudFront: 364, AppEngine: 108,
+	} {
+		if got := counts[p]; got < want-6 || got > want+6 {
+			t.Errorf("%s fronts %d Top-10K domains, want ~%d", p, got, want)
+		}
+	}
+
+	// Ground-truth unique explicit geoblockers among safe domains
+	// (paper finds 100 of 8,003).
+	unique := 0
+	perCountry := map[geo.CountryCode]int{}
+	for _, d := range w.Top10K() {
+		if category.IsRisky(d.Category) || d.OnCitizenLab {
+			continue
+		}
+		any := false
+		for _, cc := range w.Geo.Measurable() {
+			if d.ExplicitGeoBlockedIn(geo.Location{Country: cc}, 0) {
+				perCountry[cc]++
+				any = true
+			}
+		}
+		if any {
+			unique++
+		}
+	}
+	if unique < 75 || unique > 140 {
+		t.Errorf("ground-truth unique explicit geoblockers = %d, want ~100", unique)
+	}
+
+	// The sanctioned four dominate every other country (Table 5/6).
+	floor := perCountry["IR"]
+	for _, cc := range []geo.CountryCode{"SY", "SD", "CU"} {
+		if perCountry[cc] < floor {
+			floor = perCountry[cc]
+		}
+	}
+	for _, cc := range []geo.CountryCode{"CN", "RU", "DE", "US", "BR", "NG"} {
+		if perCountry[cc] >= floor {
+			t.Errorf("%s (%d instances) reaches the sanctioned floor (%d)", cc, perCountry[cc], floor)
+		}
+	}
+
+	// GAE hosting rate (§4.2.1: 40.7% of AppEngine-detected Top-10K
+	// domains are platform-blocked).
+	gae, hosted := 0, 0
+	for _, d := range w.Top10K() {
+		if d.FrontedBy(AppEngine) {
+			gae++
+			if d.GAEHosted {
+				hosted++
+			}
+		}
+	}
+	if rate := float64(hosted) / float64(gae); rate < 0.30 || rate > 0.52 {
+		t.Errorf("GAE-hosted rate %.3f, want ~0.41", rate)
+	}
+
+	// The Top-1M customer population (§5.1.1: 152,001).
+	if got := len(w.CustomerRanks()); got < 148000 || got > 160000 {
+		t.Errorf("Top-1M customers = %d, want ~152,001", got)
+	}
+
+	// The Airbnb ccTLD fleet exists and behaves.
+	fleet := 0
+	for _, d := range w.Top10K() {
+		if d.AirbnbStyle {
+			fleet++
+			if !d.ExplicitGeoBlockedIn(geo.Location{Country: "IR"}, 0) {
+				t.Errorf("%s does not block Iran", d.Name)
+			}
+		}
+	}
+	if fleet < 10 {
+		t.Errorf("Airbnb fleet = %d domains, want 14", fleet)
+	}
+
+	// Citizen Lab list size near the real global list's (~1,100).
+	if n := w.CitizenLab.Len(); n < 900 || n > 1300 {
+		t.Errorf("Citizen Lab list = %d entries", n)
+	}
+}

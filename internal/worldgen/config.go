@@ -1,0 +1,293 @@
+package worldgen
+
+import "geoblock/internal/category"
+
+// Config holds every calibration knob of the world generator. The
+// defaults reproduce the *shape* of the paper's aggregates (who blocks
+// whom, at roughly what rate); Scale shrinks the populations uniformly
+// for fast tests and benchmarks.
+type Config struct {
+	Seed uint64
+
+	// Top10KSize is the size of the popular-site population (paper:
+	// 10,000). Top1MRanks is the virtual rank space of the long tail
+	// (paper: 1,000,000).
+	Top10KSize int
+	Top1MRanks int
+
+	// Scale in (0, 1] multiplies all population sizes. 1.0 is paper
+	// scale.
+	Scale float64
+
+	// Top10KProviderCounts is how many Top-10K domains each CDN fronts
+	// (§4.2.1 reports Cloudflare 1,394, CloudFront 364, AppEngine 108).
+	Top10KProviderCounts map[Provider]int
+
+	// Top1MProviderCounts is the CDN customer population in the Top 1M
+	// (§5.1.1: Cloudflare 109,801; CloudFront 10,856; Incapsula 5,570;
+	// Akamai 10,727; AppEngine 16,455).
+	Top1MProviderCounts map[Provider]int
+
+	// Top1MDualProvider is how many Top-1M customers sit behind two
+	// services at once (paper: 1,408).
+	Top1MDualProvider int
+
+	// GAEHostedRateTop10K / Top1M: the fraction of App Engine-detected
+	// domains actually subject to the platform block (observed rates:
+	// 40.7% in the Top 10K, 16.8% in the Top 1M).
+	GAEHostedRateTop10K float64
+	GAEHostedRateTop1M  float64
+
+	// CFGeoblockRate / CloudFrontGeoblockRate: fraction of customers
+	// with an active country-block rule (§4.2.1: 3.1% / 1.4%; §5.2.1:
+	// 2.6% / 3.1%).
+	CFGeoblockRate         float64
+	CloudFrontGeoblockRate float64
+
+	// AkamaiGeoblockRate / IncapsulaGeoblockRate: fraction of customers
+	// of the non-explicit CDNs that geoblock (§5.2.2 confirms 14/~500
+	// Akamai and 17/~280 Incapsula sampled domains).
+	AkamaiGeoblockRate    float64
+	IncapsulaGeoblockRate float64
+
+	// SanctionedBlockProb is the probability that a geoblocking
+	// Cloudflare/Akamai/Incapsula customer includes the whole
+	// sanctioned set (IR, SY, SD, CU) in its rule.
+	SanctionedBlockProb float64
+	// HighRiskBlockProb is the per-country probability of including a
+	// given high-risk country (CN, RU, NG, …).
+	HighRiskBlockProb float64
+	// RandomBlockMean is the mean number of additional arbitrary
+	// countries included.
+	RandomBlockMean float64
+	// CloudFrontBlockSetSize is the mean blocked-set size for
+	// CloudFront customers, whose observed rules are wide market-
+	// segmentation sets (~33 countries per domain in Table 6).
+	CloudFrontBlockSetSize int
+
+	// Challenge deployment rates for Cloudflare customers.
+	CFCaptchaRate float64
+	CFJSRate      float64
+	// DistilRate is the fraction of domains (across providers) fronted
+	// by Distil's bot defense.
+	DistilRate float64
+	// BaiduCaptchaRate is the fraction of Baidu customers challenging
+	// foreign visitors.
+	BaiduCaptchaRate float64
+
+	// NginxGeoblockRate / VarnishGeoblockRate: origin-side country
+	// blocks by unfronted sites.
+	NginxGeoblockRate   float64
+	VarnishGeoblockRate float64
+	// SoastaBlockRate: SOASTA-fronted sites with ambiguous block pages.
+	SoastaBlockRate float64
+
+	// AkamaiBotSensitivityRate is the fraction of Akamai customers
+	// whose bot defense denies crawler-like clients everywhere. The
+	// paper's §3.1 numbers (286 false-positive pairs across 16 VPSes,
+	// i.e. ~18 of 4,111 Akamai domains, "nearly identical across
+	// countries") imply roughly 0.45% of customers — enough to make
+	// ~30% of observed Akamai 403s false positives.
+	AkamaiBotSensitivityRate float64
+
+	// ResidentialChallengeRate is the small per-request probability of
+	// IP-reputation challenges against residential clients on
+	// anti-abuse-heavy domains.
+	ResidentialChallengeRate float64
+
+	// Proxy-blacklist blocking: the fraction of deployments (per edge
+	// type) that deny every address on the residential-proxy/VPN
+	// blacklists, everywhere. Calibrated against Table 2's recall: the
+	// blocked-everywhere domains are the samples the length heuristic
+	// misses (Akamai 43.7%, nginx 57.4%, Distil 30.6%).
+	ProxyBlockAkamai    float64
+	ProxyBlockIncapsula float64
+	ProxyBlockNginx     float64
+	ProxyBlockDistil    float64
+
+	// ReputationProneRate is the fraction of Akamai/Incapsula customers
+	// whose edge denies low-reputation source addresses at all; prone
+	// domains draw a sensitivity in [ReputationMin, ReputationMin +
+	// ReputationSpan]. Calibrated against §3.1: ~11% of NS-detected
+	// CDN customers returned 403 from an Iranian VPS vs ~1% from a U.S.
+	// control.
+	ReputationProneRate float64
+	ReputationMin       float64
+	ReputationSpan      float64
+
+	// CategoryGeoblockBias multiplies a category's geoblock propensity
+	// (Shopping and market-segmented goods categories lead Table 4/8).
+	CategoryGeoblockBias map[category.Category]float64
+
+	// AirbnbTLDCount is how many airbnb.<cc> cameo domains exist in the
+	// Top 10K.
+	AirbnbTLDCount int
+
+	// UnreachableRate / LuminatiRestrictedRate / RedirectLoopRate are
+	// the population-level pathologies of §4.1.1 (286 unreachable and
+	// 13 proxy-refused of 10,000).
+	UnreachableRate        float64
+	LuminatiRestrictedRate float64
+	RedirectLoopRate       float64
+
+	// TimeoutGeoblockRate is the fraction of origin-hosted sites that
+	// geoblock by silently dropping connections (§7.3 future work).
+	TimeoutGeoblockRate float64
+
+	// AppLayerRate is the fraction of Shopping/Travel-like sites that
+	// practice application-layer geo-discrimination: removed features
+	// and per-country price markups (§7.3 future work).
+	AppLayerRate float64
+
+	// JunkProneRate is the fraction of sites with flaky backends that
+	// intermittently serve shared junk pages (maintenance pages, default
+	// vhost pages); JunkRateMax bounds their per-request junk rate.
+	JunkProneRate float64
+	JunkRateMax   float64
+
+	// CensorRate is the probability a Citizen-Lab-listed domain is
+	// censored in a censoring country; NonListedCensorRate the (small)
+	// probability for unlisted popular domains.
+	CensorRate          float64
+	NonListedCensorRate float64
+
+	// CitizenLabExtra is how many list entries exist outside the
+	// measured populations; CitizenLabOverlapRate the probability that
+	// a Top-10K domain is on the list.
+	CitizenLabExtra       int
+	CitizenLabOverlapRate float64
+}
+
+// DefaultConfig returns the paper-scale calibration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:       403,
+		Top10KSize: 10000,
+		Top1MRanks: 1000000,
+		Scale:      1.0,
+		Top10KProviderCounts: map[Provider]int{
+			Cloudflare: 1394,
+			Akamai:     750,
+			CloudFront: 364,
+			AppEngine:  108,
+			Incapsula:  90,
+			Baidu:      25,
+			Soasta:     20,
+		},
+		Top1MProviderCounts: map[Provider]int{
+			Cloudflare: 109801,
+			CloudFront: 10856,
+			Akamai:     10727,
+			Incapsula:  5570,
+			AppEngine:  16455,
+		},
+		Top1MDualProvider:   1408,
+		GAEHostedRateTop10K: 0.41,
+		GAEHostedRateTop1M:  0.168,
+
+		CFGeoblockRate:         0.031,
+		CloudFrontGeoblockRate: 0.014,
+		AkamaiGeoblockRate:     0.028,
+		IncapsulaGeoblockRate:  0.06,
+
+		SanctionedBlockProb:    0.47,
+		HighRiskBlockProb:      0.17,
+		RandomBlockMean:        3.0,
+		CloudFrontBlockSetSize: 33,
+
+		CFCaptchaRate:    0.050,
+		CFJSRate:         0.040,
+		DistilRate:       0.004,
+		BaiduCaptchaRate: 0.60,
+
+		NginxGeoblockRate:   0.020,
+		VarnishGeoblockRate: 0.002,
+		SoastaBlockRate:     0.10,
+
+		AkamaiBotSensitivityRate: 0.0045,
+		ResidentialChallengeRate: 0.002,
+
+		ProxyBlockAkamai:    0.037,
+		ProxyBlockIncapsula: 0.060,
+		ProxyBlockNginx:     0.006,
+		ProxyBlockDistil:    0.70,
+
+		ReputationProneRate: 0.35,
+		ReputationMin:       0.20,
+		ReputationSpan:      0.50,
+
+		CategoryGeoblockBias: map[category.Category]float64{
+			category.Shopping:         2.8,
+			category.Advertising:      4.0,
+			category.JobSearch:        3.0,
+			category.Travel:           2.4,
+			category.PersonalVehicles: 3.5,
+			category.Auctions:         3.5,
+			category.Newsgroups:       1.8,
+			category.WebHosting:       1.5,
+			category.Business:         1.2,
+			category.Sports:           1.1,
+			category.ChildEducation:   4.0,
+			category.Reference:        0.8,
+			category.Health:           0.8,
+			category.NewsMedia:        0.7,
+			category.Freeware:         0.7,
+			category.InfoTech:         0.5,
+			category.Games:            0.5,
+			category.Entertainment:    0.4,
+			category.Finance:          0.4,
+			category.Education:        0.25,
+		},
+
+		AirbnbTLDCount: 14,
+
+		UnreachableRate:        0.0286,
+		LuminatiRestrictedRate: 0.0013,
+		RedirectLoopRate:       0.004,
+
+		TimeoutGeoblockRate: 0.004,
+		AppLayerRate:        0.08,
+
+		JunkProneRate: 0.35,
+		JunkRateMax:   0.02,
+
+		CensorRate:          0.55,
+		NonListedCensorRate: 0.0034,
+
+		CitizenLabExtra:       980,
+		CitizenLabOverlapRate: 0.011,
+	}
+}
+
+// TestConfig returns a small, fast world (roughly 1/10 scale) for unit
+// and integration tests.
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.Scale = 0.1
+	return c
+}
+
+// scaled applies cfg.Scale to a population count, keeping at least 1
+// when the unscaled count is positive.
+func (c *Config) scaled(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	s := int(float64(n) * c.Scale)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// catBias looks up the category multiplier, defaulting to 1.
+func (c *Config) catBias(cat category.Category) float64 {
+	if b, ok := c.CategoryGeoblockBias[cat]; ok {
+		return b
+	}
+	return 1.0
+}
+
+// Scaled exposes the scale-adjusted population count for external
+// calibration checks (benchmarks, analysis).
+func (c *Config) Scaled(n int) int { return c.scaled(n) }

@@ -1,0 +1,116 @@
+package worldgen
+
+import (
+	"fmt"
+	"strings"
+
+	"geoblock/internal/stats"
+)
+
+// TLD weights loosely follow the real distribution among popular sites:
+// .com dominates, a handful of generic TLDs follow, and a long tail of
+// country-code TLDs covers the rest — in the paper, 70 of the 100
+// geoblocked Top-10K sites were .com (Table 5).
+var tldWeights = []struct {
+	TLD string
+	W   float64
+}{
+	{"com", 62}, {"net", 5}, {"org", 5}, {"io", 1.5}, {"co", 1},
+	{"ru", 2.5}, {"de", 2.2}, {"jp", 2.0}, {"br", 1.8}, {"in", 1.8},
+	{"uk", 1.6}, {"fr", 1.5}, {"it", 1.3}, {"cn", 1.3}, {"ir", 1.0},
+	{"pl", 0.9}, {"es", 0.9}, {"nl", 0.8}, {"au", 0.8}, {"ca", 0.7},
+	{"tr", 0.7}, {"ua", 0.6}, {"mx", 0.6}, {"kr", 0.6}, {"id", 0.6},
+	{"za", 0.5}, {"sg", 0.4}, {"ar", 0.4}, {"se", 0.4}, {"ch", 0.3},
+}
+
+var nameAdjectives = strings.Fields(`
+swift bright nova prime metro city daily global alpha pixel cedar delta
+ember flux harbor iris juniper kite lumen meadow nimbus onyx quartz
+river summit terra umber vertex willow zephyr atlas bravo cosmo drift
+`)
+
+var nameNouns = strings.Fields(`
+market press cart media works trade hub labs store shop base port deck
+line mart zone gear feed desk play path bank wire post dash mill forge
+point grid nest vault crest field spark stack track bloom craft
+`)
+
+// nameGen mints unique, plausible domain names deterministically.
+type nameGen struct {
+	rng  *stats.RNG
+	used map[string]bool
+}
+
+func newNameGen(rng *stats.RNG) *nameGen {
+	return &nameGen{rng: rng, used: make(map[string]bool)}
+}
+
+// tld draws a TLD from the weighted distribution.
+func (g *nameGen) tld() string {
+	weights := make([]float64, len(tldWeights))
+	for i, t := range tldWeights {
+		weights[i] = t.W
+	}
+	return tldWeights[g.rng.WeightedChoice(weights)].TLD
+}
+
+// next mints a fresh unique name under the given TLD.
+func (g *nameGen) next(tld string) string {
+	for attempt := 0; ; attempt++ {
+		adj := nameAdjectives[g.rng.Intn(len(nameAdjectives))]
+		noun := nameNouns[g.rng.Intn(len(nameNouns))]
+		name := adj + noun
+		if attempt > 2 {
+			name = fmt.Sprintf("%s%s%d", adj, noun, g.rng.Intn(1000))
+		}
+		full := name + "." + tld
+		if !g.used[full] {
+			g.used[full] = true
+			return full
+		}
+	}
+}
+
+// reserve claims an exact name (for cameo domains); it reports whether
+// the name was free.
+func (g *nameGen) reserve(name string) bool {
+	if g.used[name] {
+		return false
+	}
+	g.used[name] = true
+	return true
+}
+
+// tldOf extracts the final label of a domain name.
+func tldOf(name string) string {
+	i := strings.LastIndexByte(name, '.')
+	if i < 0 {
+		return ""
+	}
+	return name[i+1:]
+}
+
+// SyntheticRankName is the deterministic name scheme for lazily
+// synthesized long-tail domains (rank beyond the materialized
+// populations): the rank is embedded so the name is globally unique and
+// invertible.
+func SyntheticRankName(rank int, tld string) string {
+	return fmt.Sprintf("r%d-site.%s", rank, tld)
+}
+
+// parseSyntheticRank inverts SyntheticRankName; ok is false for names
+// not in the scheme.
+func parseSyntheticRank(name string) (rank int, ok bool) {
+	if len(name) < 3 || name[0] != 'r' {
+		return 0, false
+	}
+	i := 1
+	for i < len(name) && name[i] >= '0' && name[i] <= '9' {
+		rank = rank*10 + int(name[i]-'0')
+		i++
+	}
+	if i == 1 || !strings.HasPrefix(name[i:], "-site.") {
+		return 0, false
+	}
+	return rank, true
+}

@@ -1,0 +1,118 @@
+// Package worldgen synthesizes the simulated web the study measures: a
+// ranked domain population with TLDs, content categories, CDN/hosting
+// assignments, and — the heart of the reproduction — per-domain
+// geoblocking, challenge, anti-bot and censorship policies calibrated
+// so the aggregate behaviour has the shape the paper reports.
+package worldgen
+
+import "geoblock/internal/geo"
+
+// Provider identifies who serves a domain's traffic: one of the CDNs or
+// hosting providers the paper studies, or the origin server software
+// for unfronted sites.
+type Provider string
+
+// CDN and hosting providers discovered by the clustering step (§4.1.3)
+// plus the origin server types whose 403 pages the paper fingerprints.
+const (
+	Cloudflare Provider = "cloudflare"
+	Akamai     Provider = "akamai"
+	CloudFront Provider = "cloudfront"
+	AppEngine  Provider = "appengine"
+	Incapsula  Provider = "incapsula"
+	Baidu      Provider = "baidu"
+	Soasta     Provider = "soasta"
+
+	OriginNginx   Provider = "nginx"
+	OriginVarnish Provider = "varnish"
+	OriginApache  Provider = "apache"
+)
+
+// CDNs lists the fronting providers in stable order.
+func CDNs() []Provider {
+	return []Provider{Cloudflare, Akamai, CloudFront, AppEngine, Incapsula, Baidu, Soasta}
+}
+
+// IsCDN reports whether p fronts traffic (as opposed to origin server
+// software).
+func (p Provider) IsCDN() bool {
+	switch p {
+	case Cloudflare, Akamai, CloudFront, AppEngine, Incapsula, Baidu, Soasta:
+		return true
+	}
+	return false
+}
+
+// Action is what a matching access rule does to the request.
+type Action int
+
+const (
+	// ActionBlock denies the request with the provider's block page.
+	ActionBlock Action = iota
+	// ActionCaptcha serves an interactive captcha challenge.
+	ActionCaptcha
+	// ActionJS serves a JavaScript computation challenge.
+	ActionJS
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionBlock:
+		return "block"
+	case ActionCaptcha:
+		return "captcha"
+	case ActionJS:
+		return "js_challenge"
+	}
+	return "unknown"
+}
+
+// GeoRule is one country-scoped access rule a site owner configured at
+// a provider — the Firewall-Access-Rules abstraction of §6 generalized
+// across providers.
+type GeoRule struct {
+	Action    Action
+	Countries map[geo.CountryCode]bool
+	// BlockCrimea extends the rule to the Crimea region of Ukraine
+	// (finer granularity than country, §4.2.2).
+	BlockCrimea bool
+	// ActiveUntil, when non-zero, is the virtual-clock tick after which
+	// the rule is retired — the makro.co.za policy change the paper
+	// caught mid-study (§4.2).
+	ActiveUntil int64
+}
+
+// ActiveAt reports whether the rule applies at virtual time clock.
+func (r *GeoRule) ActiveAt(clock int64) bool {
+	return r.ActiveUntil == 0 || clock < r.ActiveUntil
+}
+
+// Applies reports whether the rule matches a client at loc at time
+// clock.
+func (r *GeoRule) Applies(loc geo.Location, clock int64) bool {
+	if !r.ActiveAt(clock) {
+		return false
+	}
+	if r.Countries[loc.Country] {
+		return true
+	}
+	return r.BlockCrimea && loc.Region == geo.RegionCrimea
+}
+
+// CountryList returns the rule's countries in stable sorted order.
+func (r *GeoRule) CountryList() []geo.CountryCode {
+	out := make([]geo.CountryCode, 0, len(r.Countries))
+	for cc := range r.Countries {
+		out = append(out, cc)
+	}
+	sortCodes(out)
+	return out
+}
+
+func sortCodes(cs []geo.CountryCode) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
