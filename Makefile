@@ -1,0 +1,21 @@
+# Development gate for the geoblock reproduction.
+#
+#   make check   build + vet + full test suite (the tier-1 gate)
+#   make race    race-detector pass over the concurrent scan path
+#   make bench   the scan engine benchmarks (collect vs streaming,
+#                sharded vs one-worker-per-country)
+
+GO ?= go
+
+.PHONY: check race bench
+
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/scanner ./internal/lumscan ./internal/pipeline
+
+bench:
+	$(GO) test . -run xxx -bench 'BenchmarkScan(Collect|Streaming|SkewedSharded)' -benchtime 3x

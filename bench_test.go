@@ -11,9 +11,12 @@
 package geoblock
 
 import (
+	"context"
 	"net/http"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"geoblock/internal/analysis"
 	"geoblock/internal/blockpage"
@@ -714,4 +717,133 @@ func BenchmarkAblationDendrogram(b *testing.B) {
 	b.ReportMetric(float64(counts[0]), "clusters-at-60")
 	b.ReportMetric(float64(counts[1]), "clusters-at-82")
 	b.ReportMetric(float64(counts[2]), "clusters-at-95")
+}
+
+// --- Scan engine benches (scheduler / session / fetch / sink) -------------
+
+// scanBenchWorld builds a country-skewed workload: one country carries
+// 10× the tasks of the rest — the shape that serialized the old
+// one-worker-per-country engine.
+func scanBenchWorld(b *testing.B) (*proxy.Network, []string, []geo.CountryCode, []lumscan.Task) {
+	b.Helper()
+	sys := New(Options{Scale: benchScale, Seed: 403})
+	net := proxy.NewNetwork(sys.World)
+	var domains []string
+	for _, d := range sys.World.Top10K()[:400] {
+		domains = append(domains, d.Name)
+	}
+	countries := []geo.CountryCode{"US", "DE", "IR", "SY", "BR", "IN", "RU", "CN"}
+	var tasks []lumscan.Task
+	for d := range domains {
+		tasks = append(tasks, lumscan.Task{Domain: int32(d), Country: 0})
+	}
+	for c := 1; c < len(countries); c++ {
+		for d := 0; d < len(domains)/10; d++ {
+			tasks = append(tasks, lumscan.Task{Domain: int32(d), Country: int16(c)})
+		}
+	}
+	return net, domains, countries, tasks
+}
+
+func scanBenchConfig() lumscan.Config {
+	cfg := lumscan.DefaultConfig()
+	cfg.Samples = 2
+	cfg.Phase = "bench-engine"
+	cfg.Concurrency = runtime.GOMAXPROCS(0)
+	return cfg
+}
+
+// BenchmarkScanCollect materializes the full Result (bodies included),
+// reporting throughput and allocation per sample.
+func BenchmarkScanCollect(b *testing.B) {
+	net, domains, countries, tasks := scanBenchWorld(b)
+	cfg := scanBenchConfig()
+	total := 0
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := lumscan.Scan(net, domains, countries, tasks, cfg)
+		total += len(res.Samples)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec")
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(max(total, 1)), "alloc-bytes/sample")
+}
+
+// BenchmarkScanStreaming folds each sample through a counting sink and
+// drops it — the Top-1M memory story. Compare alloc-bytes/sample with
+// BenchmarkScanCollect for the streaming win.
+func BenchmarkScanStreaming(b *testing.B) {
+	net, domains, countries, tasks := scanBenchWorld(b)
+	cfg := scanBenchConfig()
+	total, blocks := 0, 0
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := lumscan.ScanStream(context.Background(), net, domains, countries, tasks, cfg,
+			lumscan.SinkFunc(func(s lumscan.Sample) {
+				total++
+				if s.OK() && s.Status == 403 {
+					blocks++
+				}
+			}))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec")
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(max(total, 1)), "alloc-bytes/sample")
+}
+
+// simRTT adds a fixed per-request delay in front of a transport,
+// modeling the network-bound regime the real study ran in: the
+// simulated world answers in microseconds, Luminati exits did not.
+type simRTT struct {
+	rt    http.RoundTripper
+	delay time.Duration
+}
+
+func (t simRTT) RoundTrip(req *http.Request) (*http.Response, error) {
+	time.Sleep(t.delay)
+	return t.rt.RoundTrip(req)
+}
+
+// BenchmarkScanSkewedSharded pits the work-stealing scheduler against
+// the old one-worker-per-country shape (recovered by making each
+// country a single shard) on the skewed workload, under a simulated
+// 200µs round-trip. With one shard per country the skewed country's
+// request chain serializes behind that latency; sharding overlaps it.
+// The speedup metric is the acceptance check for the scheduler
+// refactor.
+func BenchmarkScanSkewedSharded(b *testing.B) {
+	net, domains, countries, tasks := scanBenchWorld(b)
+	run := func(shardSize int) time.Duration {
+		cfg := scanBenchConfig()
+		cfg.ShardSize = shardSize
+		cfg.Concurrency = 16
+		cfg.WrapTransport = func(rt http.RoundTripper) http.RoundTripper {
+			return simRTT{rt: rt, delay: 200 * time.Microsecond}
+		}
+		start := time.Now()
+		res := lumscan.Scan(net, domains, countries, tasks, cfg)
+		if len(res.Samples) == 0 {
+			b.Fatal("empty scan")
+		}
+		return time.Since(start)
+	}
+	run(0) // warm the world's lazy caches off the clock
+	var sharded, monolithic time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		monolithic += run(1 << 30) // one shard per country: the seed engine's shape
+		sharded += run(0)          // default shard size: the skewed country fans out
+	}
+	b.ReportMetric(sharded.Seconds()/float64(b.N), "sharded-sec/op")
+	b.ReportMetric(monolithic.Seconds()/float64(b.N), "monolithic-sec/op")
+	b.ReportMetric(monolithic.Seconds()/sharded.Seconds(), "speedup")
 }

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"geoblock"
 	"geoblock/internal/analysis"
@@ -28,7 +30,12 @@ func main() {
 	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
 
-	opts := geoblock.Options{Seed: *seed, Scale: *scale}
+	// Ctrl-C cancels in-flight scans; studies then return partial
+	// results and the process exits on the next table boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := geoblock.Options{Seed: *seed, Scale: *scale, Ctx: ctx}
 	if *verbose {
 		opts.Log = func(format string, args ...any) {
 			log.Printf(format, args...)

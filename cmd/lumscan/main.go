@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"geoblock"
@@ -69,29 +71,36 @@ func main() {
 	if *zgrab {
 		cfg.Headers = lumscan.ZGrabHeaders()
 	}
-	res := lumscan.Scan(net, domains, countries,
-		lumscan.CrossProduct(len(domains), len(countries)), cfg)
 
+	// Stream results as shards complete (canonical order is preserved
+	// by the engine), and let Ctrl-C cancel a long run cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fmt.Printf("%-28s %-4s %-3s %-8s %-6s %-16s %s\n",
 		"DOMAIN", "CC", "N", "STATUS", "BYTES", "EXIT", "PAGE")
-	for i := range res.Samples {
-		s := &res.Samples[i]
-		domain := res.Domains[s.Domain]
-		cc := res.Countries[s.Country]
-		if !s.OK() {
-			if *showErrors {
-				fmt.Printf("%-28s %-4s %-3d %-8s %-6s %-16s -\n",
-					domain, cc, s.Attempt, "ERR", "-", s.Err)
+	err := lumscan.ScanStream(ctx, net, domains, countries,
+		lumscan.CrossProduct(len(domains), len(countries)), cfg,
+		lumscan.SinkFunc(func(s lumscan.Sample) {
+			domain := domains[s.Domain]
+			cc := countries[s.Country]
+			if !s.OK() {
+				if *showErrors {
+					fmt.Printf("%-28s %-4s %-3d %-8s %-6s %-16s -\n",
+						domain, cc, s.Attempt, "ERR", "-", s.Err)
+				}
+				return
 			}
-			continue
-		}
-		page := "-"
-		if s.Body != "" {
-			if k := cls.Classify(s.Body); k != 0 {
-				page = k.String()
+			page := "-"
+			if s.Body != "" {
+				if k := cls.Classify(s.Body); k != 0 {
+					page = k.String()
+				}
 			}
-		}
-		fmt.Printf("%-28s %-4s %-3d %-8d %-6d %-16s %s\n",
-			domain, cc, s.Attempt, s.Status, s.BodyLen, s.ExitIP, page)
+			fmt.Printf("%-28s %-4s %-3d %-8d %-6d %-16s %s\n",
+				domain, cc, s.Attempt, s.Status, s.BodyLen, s.ExitIP, page)
+		}))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lumscan: interrupted: %v\n", err)
+		os.Exit(1)
 	}
 }

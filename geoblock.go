@@ -21,6 +21,8 @@
 package geoblock
 
 import (
+	"context"
+
 	"geoblock/internal/cfrules"
 	"geoblock/internal/geo"
 	"geoblock/internal/ooni"
@@ -80,6 +82,9 @@ type Options struct {
 	World *WorldConfig
 	// Log, when non-nil, receives progress lines from long runs.
 	Log func(format string, args ...any)
+	// Ctx, when non-nil, cancels in-flight scans when it expires; a
+	// cancelled study returns partial results. Nil means never cancel.
+	Ctx context.Context
 }
 
 // System is a simulated Internet plus the measurement apparatus over
@@ -108,6 +113,7 @@ func New(opts Options) *System {
 	w := worldgen.Generate(cfg)
 	s := pipeline.New(w)
 	s.Log = opts.Log
+	s.Ctx = opts.Ctx
 	return &System{World: w, study: s}
 }
 

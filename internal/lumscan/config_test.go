@@ -1,10 +1,7 @@
 package lumscan
 
 import (
-	"errors"
 	"testing"
-
-	"geoblock/internal/vnet"
 )
 
 func TestCrossProductShape(t *testing.T) {
@@ -42,39 +39,6 @@ func TestZGrabHeadersAreCrawlerLike(t *testing.T) {
 	}
 	if h["User-Agent"] == "" {
 		t.Fatal("ZGrab still sets a UA (§3.1)")
-	}
-}
-
-func TestClassifyError(t *testing.T) {
-	cases := []struct {
-		err  error
-		want ErrCode
-	}{
-		{&vnet.OpError{Op: "dns", Msg: "no such host"}, ErrDNS},
-		{&vnet.OpError{Op: "proxy", Msg: "exit failed"}, ErrProxy},
-		{&vnet.OpError{Op: "read", Msg: "reset"}, ErrReset},
-		{errRedirectLimit, ErrRedirects},
-		{errors.New("mystery"), ErrProxy},
-	}
-	for _, tc := range cases {
-		if got := classifyError(tc.err); got != tc.want {
-			t.Errorf("classifyError(%v) = %v, want %v", tc.err, got, tc.want)
-		}
-	}
-}
-
-func TestSampleSeedDistinct(t *testing.T) {
-	a := sampleSeed("a.com", "IR", "initial", 0)
-	b := sampleSeed("a.com", "IR", "initial", 1)
-	c := sampleSeed("a.com", "SY", "initial", 0)
-	d := sampleSeed("b.com", "IR", "initial", 0)
-	e := sampleSeed("a.com", "IR", "resample", 0)
-	seen := map[uint64]bool{}
-	for _, s := range []uint64{a, b, c, d, e} {
-		if seen[s] {
-			t.Fatal("seed collision across sampling dimensions")
-		}
-		seen[s] = true
 	}
 }
 

@@ -10,111 +10,73 @@
 // that are not needed are never rendered), the exit that served them,
 // and the deterministic seed that allows the exact response body to be
 // re-fetched later (Replay) instead of storing terabytes of HTML.
+//
+// The engine itself lives in internal/scanner, layered as scheduler /
+// session / fetcher / sink; this package re-exports it and adds the
+// paper-shaped conveniences (DefaultConfig, Replay). Scan and ScanVPS
+// materialize full results; the Ctx and Stream forms thread a
+// context.Context for cancellation, and Stream delivers samples to a
+// Sink as shards finish — in canonical country-major, task order, at
+// any concurrency — so folding consumers never hold a full result.
 package lumscan
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
-	"sync"
 
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
-	"geoblock/internal/stats"
+	"geoblock/internal/scanner"
 	"geoblock/internal/vnet"
 	"geoblock/internal/worldgen"
 )
 
-// ErrCode classifies a failed sample.
-type ErrCode uint8
-
-const (
-	// ErrNone: the request completed with an HTTP response.
-	ErrNone ErrCode = iota
-	// ErrProxy: the exit or superproxy failed.
-	ErrProxy
-	// ErrTimeout: the connection timed out.
-	ErrTimeout
-	// ErrDNS: name resolution failed (including poisoned answers).
-	ErrDNS
-	// ErrReset: the connection was reset in-path.
-	ErrReset
-	// ErrRedirects: the redirect limit was exceeded.
-	ErrRedirects
-	// ErrLuminati: the proxy platform refused the domain
-	// (X-Luminati-Error).
-	ErrLuminati
-	// ErrNoExits: the country has no usable exits.
-	ErrNoExits
+// The scan-engine vocabulary, re-exported from internal/scanner.
+type (
+	// ErrCode classifies a failed sample.
+	ErrCode = scanner.ErrCode
+	// Sample is one measurement.
+	Sample = scanner.Sample
+	// Task is one (domain, country) pair to measure.
+	Task = scanner.Task
+	// Config tunes a scan.
+	Config = scanner.Config
+	// Result is a completed scan.
+	Result = scanner.Result
+	// ExitLoad is the per-exit load accounting of Result.LoadReport.
+	ExitLoad = scanner.ExitLoad
+	// RetryPolicy is the session layer's retry/rotation contract.
+	RetryPolicy = scanner.RetryPolicy
+	// Sink receives samples as they stream out of a scan.
+	Sink = scanner.Sink
+	// SinkFunc adapts a function to the Sink interface.
+	SinkFunc = scanner.SinkFunc
+	// Collect is the materializing sink.
+	Collect = scanner.Collect
 )
 
-func (e ErrCode) String() string {
-	switch e {
-	case ErrNone:
-		return "ok"
-	case ErrProxy:
-		return "proxy"
-	case ErrTimeout:
-		return "timeout"
-	case ErrDNS:
-		return "dns"
-	case ErrReset:
-		return "reset"
-	case ErrRedirects:
-		return "redirects"
-	case ErrLuminati:
-		return "luminati"
-	case ErrNoExits:
-		return "no-exits"
-	}
-	return "unknown"
-}
+const (
+	ErrNone      = scanner.ErrNone
+	ErrProxy     = scanner.ErrProxy
+	ErrTimeout   = scanner.ErrTimeout
+	ErrDNS       = scanner.ErrDNS
+	ErrReset     = scanner.ErrReset
+	ErrRedirects = scanner.ErrRedirects
+	ErrLuminati  = scanner.ErrLuminati
+	ErrNoExits   = scanner.ErrNoExits
+)
 
-// Sample is one measurement. The struct is deliberately compact: a full
-// Top-10K study holds millions of them.
-type Sample struct {
-	Domain  int32 // index into Result.Domains
-	Country int16 // index into Result.Countries
-	Attempt uint8 // which sample of the pair (0-based)
-	Err     ErrCode
-	Status  int16
-	BodyLen int32
-	ExitIP  geo.IP
-	Seed    uint64 // replay key
-	Body    string // retained only when Config.KeepBody said so
-}
+// CrossProduct builds the full task matrix.
+var CrossProduct = scanner.CrossProduct
 
-// OK reports whether the sample carries an HTTP response.
-func (s *Sample) OK() bool { return s.Err == ErrNone }
+// BrowserHeaders is the full header set that suppresses bot detection
+// (§3.2: "merely setting User-Agent is insufficient").
+var BrowserHeaders = scanner.BrowserHeaders
 
-// Config tunes a scan.
-type Config struct {
-	// Samples per (domain, country) pair.
-	Samples int
-	// Retries per failed sample (the Lumscan reliability feature).
-	Retries int
-	// RequestsPerExit bounds per-exit load before rotation (paper: 10).
-	RequestsPerExit int
-	// MaxRedirects bounds the redirect chain (paper: 10).
-	MaxRedirects int
-	// Concurrency bounds the number of in-flight countries.
-	Concurrency int
-	// Headers are sent on every request. Use BrowserHeaders for the
-	// full browser set; a bare UA reproduces the ZGrab false positives.
-	Headers map[string]string
-	// KeepBody decides whether a sample retains its body. Nil keeps
-	// non-200 bodies (every block page is non-200).
-	KeepBody func(status, bodyLen int) bool
-	// Phase salts the per-sample seeds so that repeated passes over the
-	// same pairs draw fresh samples.
-	Phase string
-	// VerifyConnectivity runs the platform echo check when picking up a
-	// new exit, rotating away from dead machines.
-	VerifyConnectivity bool
-}
+// ZGrabHeaders is the bare header set of the §3.1 VPS exploration.
+var ZGrabHeaders = scanner.ZGrabHeaders
 
 // DefaultConfig is the initial-snapshot configuration of §4.1.1.
 func DefaultConfig() Config {
@@ -130,268 +92,24 @@ func DefaultConfig() Config {
 	}
 }
 
-// BrowserHeaders is the full header set that suppresses bot detection
-// (§3.2: "merely setting User-Agent is insufficient").
-func BrowserHeaders() map[string]string {
-	return map[string]string{
-		"User-Agent":      "Mozilla/5.0 (Macintosh; Intel Mac OS X 10.13; rv:61.0) Gecko/20100101 Firefox/61.0",
-		"Accept":          "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8",
-		"Accept-Language": "en-US,en;q=0.5",
-	}
-}
-
-// ZGrabHeaders is the bare header set of the §3.1 VPS exploration.
-func ZGrabHeaders() map[string]string {
-	return map[string]string{
-		"User-Agent": "Mozilla/5.0 (Macintosh; Intel Mac OS X 10.13; rv:61.0) Gecko/20100101 Firefox/61.0",
-	}
-}
-
-// Task is one (domain, country) pair to measure.
-type Task struct {
-	Domain  int32
-	Country int16
-}
-
-// Result is a completed scan.
-type Result struct {
-	Domains   []string
-	Countries []geo.CountryCode
-	Samples   []Sample
-}
-
-// ExitLoad summarizes how many requests each exit machine served — the
-// accounting behind the paper's promise that the scan "keeps us from
-// consuming too many resources on any single end user's machine"
-// (§3.2). Counting is per contiguous stretch on an exit: the per-exit
-// budget bounds each stretch, and rotation cycles the inventory.
-type ExitLoad struct {
-	// MaxStretch is the longest run of consecutive samples served by
-	// one exit within a country.
-	MaxStretch int
-	// PerExit counts total samples per exit address.
-	PerExit map[geo.IP]int
-}
-
-// LoadReport computes the per-exit accounting from the samples.
-func (r *Result) LoadReport() ExitLoad {
-	load := ExitLoad{PerExit: map[geo.IP]int{}}
-	var prevExit geo.IP
-	var prevCountry int16 = -1
-	stretch := 0
-	for i := range r.Samples {
-		s := &r.Samples[i]
-		if s.ExitIP == 0 {
-			continue
-		}
-		load.PerExit[s.ExitIP]++
-		if s.ExitIP == prevExit && s.Country == prevCountry {
-			stretch++
-		} else {
-			stretch = 1
-			prevExit, prevCountry = s.ExitIP, s.Country
-		}
-		if stretch > load.MaxStretch {
-			load.MaxStretch = stretch
-		}
-	}
-	return load
-}
-
-// CrossProduct builds the full task matrix.
-func CrossProduct(nDomains, nCountries int) []Task {
-	tasks := make([]Task, 0, nDomains*nCountries)
-	for c := 0; c < nCountries; c++ {
-		for d := 0; d < nDomains; d++ {
-			tasks = append(tasks, Task{Domain: int32(d), Country: int16(c)})
-		}
-	}
-	return tasks
-}
-
-// Scan measures tasks through the proxy mesh. Tasks are grouped by
-// country; each country is scanned by one worker holding a sticky
-// session, so results are deterministic even under concurrency.
+// Scan measures tasks through the proxy mesh and materializes the full
+// result, in canonical country-major, task order.
 func Scan(net *proxy.Network, domains []string, countries []geo.CountryCode, tasks []Task, cfg Config) *Result {
-	if cfg.Samples <= 0 {
-		cfg.Samples = 1
-	}
-	if cfg.MaxRedirects <= 0 {
-		cfg.MaxRedirects = 10
-	}
-	if cfg.RequestsPerExit <= 0 {
-		cfg.RequestsPerExit = 10
-	}
-	if cfg.Concurrency <= 0 {
-		cfg.Concurrency = 8
-	}
-	if cfg.Headers == nil {
-		cfg.Headers = BrowserHeaders()
-	}
-	if cfg.KeepBody == nil {
-		cfg.KeepBody = func(status, _ int) bool { return status != 200 && status != 301 && status != 302 }
-	}
-
-	byCountry := make([][]Task, len(countries))
-	for _, t := range tasks {
-		byCountry[t.Country] = append(byCountry[t.Country], t)
-	}
-
-	results := make([][]Sample, len(countries))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Concurrency)
-	for ci := range countries {
-		if len(byCountry[ci]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[ci] = scanCountry(net, domains, countries[ci], byCountry[ci], cfg)
-		}(ci)
-	}
-	wg.Wait()
-
-	res := &Result{Domains: domains, Countries: countries}
-	for _, rs := range results {
-		res.Samples = append(res.Samples, rs...)
-	}
+	res, _ := scanner.Scan(context.Background(), net, domains, countries, tasks, cfg)
 	return res
 }
 
-// scanCountry runs one country's tasks through a sticky session.
-func scanCountry(net *proxy.Network, domains []string, cc geo.CountryCode, tasks []Task, cfg Config) []Sample {
-	slot := hash(string(cc) + "/" + cfg.Phase)
-	sess, err := net.NewSession(cc, slot)
-	if err != nil {
-		out := make([]Sample, 0, len(tasks)*cfg.Samples)
-		for _, t := range tasks {
-			for a := 0; a < cfg.Samples; a++ {
-				out = append(out, Sample{Domain: t.Domain, Country: t.Country, Attempt: uint8(a), Err: ErrNoExits})
-			}
-		}
-		return out
-	}
-
-	client := &http.Client{
-		Transport: sess,
-		CheckRedirect: func(req *http.Request, via []*http.Request) error {
-			if len(via) >= cfg.MaxRedirects {
-				return errRedirectLimit
-			}
-			return nil
-		},
-	}
-
-	out := make([]Sample, 0, len(tasks)*cfg.Samples)
-	for _, t := range tasks {
-		domain := domains[t.Domain]
-		for a := 0; a < cfg.Samples; a++ {
-			seed := sampleSeed(domain, string(cc), cfg.Phase, a)
-			s := fetchWithRetries(client, sess, domain, seed, t, uint8(a), cfg)
-			out = append(out, s)
-		}
-	}
-	return out
+// ScanCtx is Scan with cancellation: a cancelled scan returns the
+// samples emitted so far alongside ctx.Err().
+func ScanCtx(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, tasks []Task, cfg Config) (*Result, error) {
+	return scanner.Scan(ctx, net, domains, countries, tasks, cfg)
 }
 
-var errRedirectLimit = errors.New("lumscan: redirect limit reached")
-
-// fetchWithRetries performs one logical sample: up to 1+Retries
-// attempts, rotating the exit between attempts and when the per-exit
-// budget is spent.
-func fetchWithRetries(client *http.Client, sess *proxy.Session, domain string, seed uint64, t Task, attempt uint8, cfg Config) Sample {
-	var last Sample
-	for try := 0; try <= cfg.Retries; try++ {
-		if sess.Used() >= cfg.RequestsPerExit {
-			sess.Rotate()
-		}
-		if cfg.VerifyConnectivity && sess.Used() == 0 {
-			// Fresh exit: run the platform echo check; rotate through
-			// dead machines (bounded so a fully dark inventory
-			// degrades into plain failures rather than spinning).
-			for probe := 0; probe < 5; probe++ {
-				if _, _, err := sess.Verify(seed + uint64(probe)); err == nil {
-					break
-				}
-				sess.Rotate()
-			}
-		}
-		trySeed := seed + uint64(try)*0x9e3779b97f4a7c15
-		last = fetchOnce(client, sess, domain, trySeed, t, attempt, cfg)
-		if last.Err == ErrNone || last.Err == ErrLuminati {
-			return last
-		}
-		sess.Rotate()
-	}
-	return last
-}
-
-func fetchOnce(client *http.Client, sess *proxy.Session, domain string, seed uint64, t Task, attempt uint8, cfg Config) Sample {
-	s := Sample{Domain: t.Domain, Country: t.Country, Attempt: attempt, Seed: seed, ExitIP: sess.Exit().IP}
-
-	ctx := vnet.WithSampleSeed(context.Background(), seed)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+domain+"/", nil)
-	if err != nil {
-		s.Err = ErrDNS
-		return s
-	}
-	for k, v := range cfg.Headers {
-		req.Header.Set(k, v)
-	}
-
-	resp, err := client.Do(req)
-	if err != nil {
-		s.Err = classifyError(err)
-		return s
-	}
-	defer resp.Body.Close()
-
-	// The exit that served the *final* hop matters for replay.
-	s.ExitIP = sess.Exit().IP
-	if resp.Header.Get("X-Luminati-Error") != "" {
-		s.Err = ErrLuminati
-		return s
-	}
-	s.Status = int16(resp.StatusCode)
-	s.BodyLen = int32(resp.ContentLength)
-	if cfg.KeepBody(resp.StatusCode, int(resp.ContentLength)) {
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			s.Err = ErrReset
-			return s
-		}
-		s.Body = string(body)
-		s.BodyLen = int32(len(body))
-	}
-	return s
-}
-
-func classifyError(err error) ErrCode {
-	var op *vnet.OpError
-	if errors.As(err, &op) {
-		switch {
-		case op.Timeout():
-			return ErrTimeout
-		case op.Op == "dns":
-			return ErrDNS
-		case op.Op == "proxy":
-			return ErrProxy
-		default:
-			return ErrReset
-		}
-	}
-	if errors.Is(err, errRedirectLimit) || strings.Contains(err.Error(), "redirect") {
-		return ErrRedirects
-	}
-	return ErrProxy
-}
-
-// sampleSeed derives the deterministic per-sample seed.
-func sampleSeed(domain, country, phase string, attempt int) uint64 {
-	return stats.Mix64(hash(domain) ^ hash(country)<<1 ^ hash(phase)<<2 ^ uint64(attempt+1)*0x100000001b3)
+// ScanStream runs the scan against a streaming sink instead of
+// materializing a Result: samples arrive in canonical order as shards
+// complete, and a folding sink can drop bodies immediately.
+func ScanStream(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, tasks []Task, cfg Config, sink Sink) error {
+	return scanner.Run(ctx, net, domains, countries, tasks, cfg, sink)
 }
 
 // Replay re-fetches the exact body of a previously collected sample:
@@ -418,13 +136,4 @@ func Replay(w *worldgen.World, domain string, exit geo.IP, seed uint64, headers 
 		return "", 0, err
 	}
 	return string(body), resp.StatusCode, nil
-}
-
-func hash(s string) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }

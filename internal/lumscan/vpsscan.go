@@ -2,100 +2,29 @@ package lumscan
 
 import (
 	"context"
-	"io"
-	"net/http"
-	"sync"
 
-	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
-	"geoblock/internal/vnet"
+	"geoblock/internal/scanner"
 )
 
 // ScanVPS runs the §3.1-style exploration: fetching domains from the
 // datacenter VPS fleet with ZGrab-like header realism. Unlike the
 // residential mesh there are no proxy failures, but the crawler-ish
 // fingerprint triggers bot defenses — the ~30% Akamai false-positive
-// problem the paper reports.
+// problem the paper reports. Result.Countries carries one entry per
+// fleet position, and Sample.Country indexes the fleet.
 func ScanVPS(fleet []*proxy.VPS, domains []string, cfg Config) *Result {
-	if cfg.Samples <= 0 {
-		cfg.Samples = 1
-	}
-	if cfg.MaxRedirects <= 0 {
-		cfg.MaxRedirects = 10
-	}
-	if cfg.Headers == nil {
-		cfg.Headers = ZGrabHeaders()
-	}
-	if cfg.KeepBody == nil {
-		cfg.KeepBody = func(status, _ int) bool { return status != 200 && status != 301 && status != 302 }
-	}
-	if cfg.Concurrency <= 0 {
-		cfg.Concurrency = 8
-	}
-
-	countries := make([]geo.CountryCode, len(fleet))
-	for i, v := range fleet {
-		countries[i] = v.Country
-	}
-
-	res := &Result{Domains: domains, Countries: countries}
-	perVPS := make([][]Sample, len(fleet))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Concurrency)
-	for vi, v := range fleet {
-		wg.Add(1)
-		go func(vi int, v *proxy.VPS) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			perVPS[vi] = scanFromVPS(v, vi, domains, cfg)
-		}(vi, v)
-	}
-	wg.Wait()
-	for _, s := range perVPS {
-		res.Samples = append(res.Samples, s...)
-	}
+	res, _ := scanner.ScanVPS(context.Background(), fleet, domains, cfg)
 	return res
 }
 
-func scanFromVPS(v *proxy.VPS, vi int, domains []string, cfg Config) []Sample {
-	client := v.Stack().Client(cfg.MaxRedirects)
-	out := make([]Sample, 0, len(domains)*cfg.Samples)
-	for di, domain := range domains {
-		for a := 0; a < cfg.Samples; a++ {
-			seed := sampleSeed(domain, string(v.Country), cfg.Phase+"/vps", a)
-			s := Sample{Domain: int32(di), Country: int16(vi), Attempt: uint8(a), Seed: seed, ExitIP: v.IP}
+// ScanVPSCtx is ScanVPS with cancellation.
+func ScanVPSCtx(ctx context.Context, fleet []*proxy.VPS, domains []string, cfg Config) (*Result, error) {
+	return scanner.ScanVPS(ctx, fleet, domains, cfg)
+}
 
-			ctx := vnet.WithSampleSeed(context.Background(), seed)
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+domain+"/", nil)
-			if err != nil {
-				s.Err = ErrDNS
-				out = append(out, s)
-				continue
-			}
-			for k, hv := range cfg.Headers {
-				req.Header.Set(k, hv)
-			}
-			resp, err := client.Do(req)
-			if err != nil {
-				s.Err = classifyError(err)
-				out = append(out, s)
-				continue
-			}
-			s.Status = int16(resp.StatusCode)
-			s.BodyLen = int32(resp.ContentLength)
-			if cfg.KeepBody(resp.StatusCode, int(resp.ContentLength)) {
-				body, rerr := io.ReadAll(resp.Body)
-				if rerr == nil {
-					s.Body = string(body)
-					s.BodyLen = int32(len(body))
-				} else {
-					s.Err = ErrReset
-				}
-			}
-			resp.Body.Close()
-			out = append(out, s)
-		}
-	}
-	return out
+// ScanVPSStream streams a VPS scan into sink; a nil task list scans
+// the full domain × fleet cross product.
+func ScanVPSStream(ctx context.Context, fleet []*proxy.VPS, domains []string, tasks []Task, cfg Config, sink Sink) error {
+	return scanner.RunVPS(ctx, fleet, domains, tasks, cfg, sink)
 }

@@ -79,7 +79,6 @@ func (s *Study) RunExploration() *ExploreResult {
 
 	fleet := proxy.VPSFleet(s.World, proxy.VPSCountries())
 	cfg := lumscan.Config{Samples: 1, Headers: lumscan.ZGrabHeaders(), Phase: "explore", MaxRedirects: 10}
-	scan := lumscan.ScanVPS(fleet, domains, cfg)
 
 	countryIdx := map[geo.CountryCode]int16{}
 	for i, v := range fleet {
@@ -92,28 +91,28 @@ func (s *Study) RunExploration() *ExploreResult {
 	}
 	blockPairs := map[pair]blockpage.Kind{}
 	uniqueDomains := map[int32]bool{}
-	for i := range scan.Samples {
-		sm := &scan.Samples[i]
-		if !sm.OK() {
-			continue
-		}
-		if sm.Status == 403 {
-			switch sm.Country {
-			case countryIdx["IR"]:
-				r.Iran403++
-			case countryIdx["US"]:
-				r.US403++
+	_ = lumscan.ScanVPSStream(s.ctx(), fleet, domains, nil, cfg,
+		lumscan.SinkFunc(func(sm lumscan.Sample) {
+			if !sm.OK() {
+				return
 			}
-		}
-		if sm.Body == "" {
-			continue
-		}
-		k := s.Classifier.Classify(sm.Body)
-		if k == blockpage.Akamai || k == blockpage.Cloudflare {
-			blockPairs[pair{sm.Domain, sm.Country}] = k
-			uniqueDomains[sm.Domain] = true
-		}
-	}
+			if sm.Status == 403 {
+				switch sm.Country {
+				case countryIdx["IR"]:
+					r.Iran403++
+				case countryIdx["US"]:
+					r.US403++
+				}
+			}
+			if sm.Body == "" {
+				return
+			}
+			k := s.Classifier.Classify(sm.Body)
+			if k == blockpage.Akamai || k == blockpage.Cloudflare {
+				blockPairs[pair{sm.Domain, sm.Country}] = k
+				uniqueDomains[sm.Domain] = true
+			}
+		}))
 	r.PairsBlockpage = len(blockPairs)
 	r.UniqueDomains = len(uniqueDomains)
 

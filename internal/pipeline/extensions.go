@@ -123,26 +123,24 @@ func (s *Study) AnalyzeTimeouts(r *Top10KResult, resamples int) *TimeoutResult {
 	scanCfg.Samples = resamples
 	scanCfg.Retries = 0
 	scanCfg.Phase = "timeout-confirm"
-	scanned := lumscan.Scan(s.Net, r.SafeDomains, r.Countries, tasks, scanCfg)
-
 	confirm := map[pairKey]*tally{}
-	for i := range scanned.Samples {
-		sm := &scanned.Samples[i]
-		key := pairKey{sm.Domain, sm.Country}
-		t := confirm[key]
-		if t == nil {
-			t = &tally{}
-			confirm[key] = t
-		}
-		switch {
-		case sm.OK():
-			t.responses++
-		case sm.Err == lumscan.ErrTimeout:
-			t.timeouts++
-		default:
-			t.other++
-		}
-	}
+	_ = lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+		lumscan.SinkFunc(func(sm lumscan.Sample) {
+			key := pairKey{sm.Domain, sm.Country}
+			t := confirm[key]
+			if t == nil {
+				t = &tally{}
+				confirm[key] = t
+			}
+			switch {
+			case sm.OK():
+				t.responses++
+			case sm.Err == lumscan.ErrTimeout:
+				t.timeouts++
+			default:
+				t.other++
+			}
+		}))
 
 	for _, dIdx := range domains {
 		f := TimeoutFinding{DomainName: r.SafeDomains[dIdx]}

@@ -86,20 +86,21 @@ func (s *Study) RunConsistencyExperiment(r *Top10KResult, population, draws int,
 	// proxy errors, transient network failures, and local filtering"
 	// (§4.1.5) — raw per-sample outcomes, so retries are off.
 	scanCfg.Retries = 0
-	scanned := lumscan.Scan(s.Net, r.SafeDomains, r.Countries, tasks, scanCfg)
 
 	// Per-pair boolean observation vectors (errors count as misses: the
-	// experiment measures "the rate of other failures", §4.1.5).
+	// experiment measures "the rate of other failures", §4.1.5). At 100
+	// samples per pair this is the deepest scan in the repo, so each
+	// sample streams into its bit and the body is gone immediately.
 	perPair := map[pairKey][]bool{}
-	for i := range scanned.Samples {
-		sm := &scanned.Samples[i]
-		key := pairKey{sm.Domain, sm.Country}
-		if _, tracked := kinds[key]; !tracked {
-			continue
-		}
-		hit := sm.OK() && sm.Body != "" && s.explicitKind(sm.Body) != blockpage.KindNone
-		perPair[key] = append(perPair[key], hit)
-	}
+	_ = lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+		lumscan.SinkFunc(func(sm lumscan.Sample) {
+			key := pairKey{sm.Domain, sm.Country}
+			if _, tracked := kinds[key]; !tracked {
+				return
+			}
+			hit := sm.OK() && sm.Body != "" && s.explicitKind(sm.Body) != blockpage.KindNone
+			perPair[key] = append(perPair[key], hit)
+		}))
 
 	// Figure 1 draws from every candidate pair; Figure 3 ("known
 	// geoblockers") only from the pairs the threshold confirmed.

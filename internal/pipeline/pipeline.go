@@ -8,6 +8,7 @@
 package pipeline
 
 import (
+	"context"
 	"sort"
 
 	"geoblock/internal/blockpage"
@@ -30,6 +31,9 @@ type Study struct {
 	Classifier *fingerprint.Classifier
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+	// Ctx, when non-nil, cancels the study's scans (a cancelled study
+	// returns partial results). Nil means context.Background().
+	Ctx context.Context
 }
 
 // New assembles a study over w with a fresh proxy mesh.
@@ -45,6 +49,13 @@ func (s *Study) logf(format string, args ...any) {
 	if s.Log != nil {
 		s.Log(format, args...)
 	}
+}
+
+func (s *Study) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // Finding is one confirmed geoblocking observation: a (domain, country)
@@ -89,17 +100,18 @@ func (s *Study) measurableCountries() []geo.CountryCode {
 	return s.World.Geo.Measurable()
 }
 
-// collectPairRates folds scan samples into per-pair rates for the given
-// per-pair expected kind. A sample counts as a response when it carried
-// any HTTP status; it counts as a block when its body classifies to the
-// pair's kind.
-func (s *Study) collectPairRates(res *lumscan.Result, kinds map[pairKey]blockpage.Kind, into map[pairKey]*candidate) {
-	for i := range res.Samples {
-		sm := &res.Samples[i]
+// pairRateSink returns a streaming sink folding samples into per-pair
+// rates for the given per-pair expected kind. A sample counts as a
+// response when it carried any HTTP status; it counts as a block when
+// its body classifies to the pair's kind. Each sample is digested and
+// dropped — bodies included — so a resample pass streamed through this
+// sink never materializes a Result.
+func (s *Study) pairRateSink(kinds map[pairKey]blockpage.Kind, into map[pairKey]*candidate) lumscan.SinkFunc {
+	return func(sm lumscan.Sample) {
 		key := pairKey{sm.Domain, sm.Country}
 		kind, tracked := kinds[key]
 		if !tracked {
-			continue
+			return
 		}
 		c := into[key]
 		if c == nil {
@@ -107,12 +119,22 @@ func (s *Study) collectPairRates(res *lumscan.Result, kinds map[pairKey]blockpag
 			into[key] = c
 		}
 		if !sm.OK() {
-			continue
+			return
 		}
 		c.rate.Responses++
 		if sm.Body != "" && s.Classifier.Classify(sm.Body) == kind {
 			c.rate.Blocks++
 		}
+	}
+}
+
+// collectPairRates folds an already-materialized scan result through
+// pairRateSink (for the initial snapshot, which later stages also
+// need in full).
+func (s *Study) collectPairRates(res *lumscan.Result, kinds map[pairKey]blockpage.Kind, into map[pairKey]*candidate) {
+	sink := s.pairRateSink(kinds, into)
+	for i := range res.Samples {
+		sink(res.Samples[i])
 	}
 }
 
@@ -145,15 +167,14 @@ func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, c
 	cfg.Samples = samples
 	cfg.Phase = "country-rank"
 	cfg.KeepBody = func(int, int) bool { return false }
-	res := lumscan.Scan(s.Net, auxDomains, countries, lumscan.CrossProduct(len(auxDomains), len(countries)), cfg)
-
 	counts := make([]int, len(countries))
-	for i := range res.Samples {
-		sm := &res.Samples[i]
-		if sm.OK() && sm.Status == 403 {
-			counts[sm.Country]++
-		}
-	}
+	_ = lumscan.ScanStream(s.ctx(), s.Net, auxDomains, countries,
+		lumscan.CrossProduct(len(auxDomains), len(countries)), cfg,
+		lumscan.SinkFunc(func(sm lumscan.Sample) {
+			if sm.OK() && sm.Status == 403 {
+				counts[sm.Country]++
+			}
+		}))
 	idx := make([]int, len(countries))
 	for i := range idx {
 		idx[i] = i

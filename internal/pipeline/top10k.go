@@ -120,7 +120,7 @@ func (s *Study) RunTop10K(cfg Top10KConfig) *Top10KResult {
 	scanCfg.Samples = cfg.InitialSamples
 	scanCfg.Concurrency = cfg.Concurrency
 	scanCfg.Phase = "top10k-initial"
-	r.Initial = lumscan.Scan(s.Net, r.SafeDomains, r.Countries,
+	r.Initial, _ = lumscan.ScanCtx(s.ctx(), s.Net, r.SafeDomains, r.Countries,
 		lumscan.CrossProduct(len(r.SafeDomains), len(r.Countries)), scanCfg)
 	s.logf("top10k: initial snapshot %d samples", len(r.Initial.Samples))
 
@@ -435,11 +435,14 @@ func (s *Study) resampleAndConfirm(r *Top10KResult) {
 	scanCfg.Samples = r.Config.ResampleCount
 	scanCfg.Concurrency = r.Config.Concurrency
 	scanCfg.Phase = "top10k-resample"
-	resampled := lumscan.Scan(s.Net, r.SafeDomains, r.Countries, tasks, scanCfg)
 
+	// The confirmation pass streams straight into the rate fold: each
+	// 20-sample pair is digested as its shard completes and its bodies
+	// dropped, so the pass never holds a materialized Result.
 	cands := make(map[pairKey]*candidate, len(kinds))
 	s.collectPairRates(r.Initial, kinds, cands)
-	s.collectPairRates(resampled, kinds, cands)
+	_ = lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+		s.pairRateSink(kinds, cands))
 
 	keys := make([]pairKey, 0, len(cands))
 	for key := range cands {

@@ -104,7 +104,7 @@ func (s *Study) RunTop1M(cfg Top1MConfig) *Top1MResult {
 	scanCfg.Samples = cfg.InitialSamples
 	scanCfg.Concurrency = cfg.Concurrency
 	scanCfg.Phase = "top1m-initial"
-	r.Initial = lumscan.Scan(s.Net, r.TestDomains, r.Countries,
+	r.Initial, _ = lumscan.ScanCtx(s.ctx(), s.Net, r.TestDomains, r.Countries,
 		lumscan.CrossProduct(len(r.TestDomains), len(r.Countries)), scanCfg)
 	s.diagnostics1M(r)
 
@@ -230,11 +230,11 @@ func (s *Study) confirmExplicit1M(r *Top1MResult) {
 	scanCfg.Samples = r.Config.ResampleCount
 	scanCfg.Concurrency = r.Config.Concurrency
 	scanCfg.Phase = "top1m-resample"
-	resampled := lumscan.Scan(s.Net, r.TestDomains, r.Countries, tasks, scanCfg)
 
 	cands := make(map[pairKey]*candidate, len(kinds))
 	s.collectPairRates(r.Initial, kinds, cands)
-	s.collectPairRates(resampled, kinds, cands)
+	_ = lumscan.ScanStream(s.ctx(), s.Net, r.TestDomains, r.Countries, tasks, scanCfg,
+		s.pairRateSink(kinds, cands))
 
 	keys := make([]pairKey, 0, len(cands))
 	for key := range cands {
@@ -315,29 +315,30 @@ func (s *Study) analyzeNonExplicit(r *Top1MResult) {
 	scanCfg.Samples = r.Config.ResampleCount
 	scanCfg.Concurrency = r.Config.Concurrency
 	scanCfg.Phase = "top1m-nonexplicit"
-	scanned := lumscan.Scan(s.Net, r.TestDomains, r.Countries, tasks, scanCfg)
 
-	// Fold into per-domain, per-country rates.
+	// This is the study's widest scan — every ambiguous domain in
+	// every country, 20 samples each — so it streams into per-domain,
+	// per-country rates and drops each body the moment it classifies.
 	perDomain := map[int32]map[string]consistency.Rate{}
-	for i := range scanned.Samples {
-		sm := &scanned.Samples[i]
-		kind, tracked := ambiguous[sm.Domain]
-		if !tracked || !sm.OK() {
-			continue
-		}
-		m := perDomain[sm.Domain]
-		if m == nil {
-			m = map[string]consistency.Rate{}
-			perDomain[sm.Domain] = m
-		}
-		cc := string(r.Countries[sm.Country])
-		rate := m[cc]
-		rate.Responses++
-		if sm.Body != "" && s.Classifier.Classify(sm.Body) == kind {
-			rate.Blocks++
-		}
-		m[cc] = rate
-	}
+	_ = lumscan.ScanStream(s.ctx(), s.Net, r.TestDomains, r.Countries, tasks, scanCfg,
+		lumscan.SinkFunc(func(sm lumscan.Sample) {
+			kind, tracked := ambiguous[sm.Domain]
+			if !tracked || !sm.OK() {
+				return
+			}
+			m := perDomain[sm.Domain]
+			if m == nil {
+				m = map[string]consistency.Rate{}
+				perDomain[sm.Domain] = m
+			}
+			cc := string(r.Countries[sm.Country])
+			rate := m[cc]
+			rate.Responses++
+			if sm.Body != "" && s.Classifier.Classify(sm.Body) == kind {
+				rate.Blocks++
+			}
+			m[cc] = rate
+		}))
 
 	r.ConsistencyScores = map[blockpage.Kind][]float64{}
 	for _, dIdx := range domains {

@@ -1,0 +1,70 @@
+// The engine: wires scheduler, session, fetcher, and sink together
+// for residential-mesh scans.
+package scanner
+
+import (
+	"context"
+
+	"geoblock/internal/geo"
+	"geoblock/internal/proxy"
+)
+
+// Run measures tasks through the proxy mesh, streaming samples into
+// sink in canonical country-major, task-order sequence. It returns
+// ctx.Err() if the scan was cancelled (in which case the sink holds a
+// prefix of the full run), nil otherwise.
+func Run(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, tasks []Task, cfg Config, sink Sink) error {
+	cfg = cfg.withDefaults()
+	pol := cfg.retryPolicy()
+
+	byCountry := make([][]Task, len(countries))
+	for _, t := range tasks {
+		byCountry[t.Country] = append(byCountry[t.Country], t)
+	}
+	shards := buildShards(byCountry, cfg.ShardSize, func(group int16, index int) uint64 {
+		return shardSlot(string(countries[group]), cfg.Phase, index)
+	})
+
+	run := func(ctx context.Context, sh *shard) {
+		sh.out = scanShard(ctx, net, domains, countries, sh, cfg, pol)
+	}
+	return schedule(ctx, shards, cfg.Concurrency, run, sink)
+}
+
+// Scan is the collecting form of Run: it materializes the full Result.
+// A cancelled scan returns the samples emitted so far alongside
+// ctx.Err().
+func Scan(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, tasks []Task, cfg Config) (*Result, error) {
+	var c Collect
+	err := Run(ctx, net, domains, countries, tasks, cfg, &c)
+	return &Result{Domains: domains, Countries: countries, Samples: c.Samples}, err
+}
+
+// scanShard runs one shard's tasks through its own sticky session.
+func scanShard(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, sh *shard, cfg Config, pol RetryPolicy) []Sample {
+	out := make([]Sample, 0, len(sh.tasks)*cfg.Samples)
+	cc := countries[sh.group]
+
+	se, err := openSession(net, cc, sh.slot, pol)
+	if err != nil {
+		for _, t := range sh.tasks {
+			for a := 0; a < cfg.Samples; a++ {
+				out = append(out, Sample{Domain: t.Domain, Country: t.Country, Attempt: uint8(a), Err: ErrNoExits})
+			}
+		}
+		return out
+	}
+
+	f := newFetcher(ctx, se.transport(), cfg)
+	for _, t := range sh.tasks {
+		if ctx.Err() != nil {
+			return out
+		}
+		domain := domains[t.Domain]
+		for a := 0; a < cfg.Samples; a++ {
+			seed := sampleSeed(domain, string(cc), cfg.Phase, a)
+			out = append(out, fetchReliable(f, se, domain, seed, t, uint8(a)))
+		}
+	}
+	return out
+}

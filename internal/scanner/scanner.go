@@ -1,0 +1,263 @@
+// Package scanner is the layered scan engine behind lumscan (§3.2).
+// It splits the hot path every study phase funnels through into four
+// composable layers:
+//
+//   - Scheduler (sched.go): shards each country's task list into
+//     deterministic chunks and work-steals across shards, so one large
+//     country no longer serializes a run and parallelism scales with
+//     cores rather than country count.
+//   - Session (session.go): sticky proxy-session acquisition, the
+//     connectivity pre-check loop, and per-exit budget rotation under
+//     an explicit RetryPolicy.
+//   - Fetcher (fetch.go): one HTTP attempt plus error classification.
+//   - Sink (sink.go): streaming delivery of samples. Collect rebuilds
+//     the classic in-memory Result; folding sinks let consumers drop
+//     bodies immediately, bounding peak memory on Top-1M-scale runs.
+//
+// Determinism contract: every sample is a pure function of (domain,
+// country, phase, attempt, shard slot). Shard boundaries and slots do
+// not depend on Concurrency, and completed shards are emitted to the
+// sink in canonical country-major, task-order sequence — so a scan's
+// output is bit-identical at any concurrency, and Emit never needs to
+// be safe for concurrent use.
+package scanner
+
+import (
+	"net/http"
+
+	"geoblock/internal/geo"
+	"geoblock/internal/stats"
+)
+
+// ErrCode classifies a failed sample.
+type ErrCode uint8
+
+const (
+	// ErrNone: the request completed with an HTTP response.
+	ErrNone ErrCode = iota
+	// ErrProxy: the exit or superproxy failed.
+	ErrProxy
+	// ErrTimeout: the connection timed out.
+	ErrTimeout
+	// ErrDNS: name resolution failed (including poisoned answers).
+	ErrDNS
+	// ErrReset: the connection was reset in-path.
+	ErrReset
+	// ErrRedirects: the redirect limit was exceeded.
+	ErrRedirects
+	// ErrLuminati: the proxy platform refused the domain
+	// (X-Luminati-Error).
+	ErrLuminati
+	// ErrNoExits: the country has no usable exits.
+	ErrNoExits
+)
+
+func (e ErrCode) String() string {
+	switch e {
+	case ErrNone:
+		return "ok"
+	case ErrProxy:
+		return "proxy"
+	case ErrTimeout:
+		return "timeout"
+	case ErrDNS:
+		return "dns"
+	case ErrReset:
+		return "reset"
+	case ErrRedirects:
+		return "redirects"
+	case ErrLuminati:
+		return "luminati"
+	case ErrNoExits:
+		return "no-exits"
+	}
+	return "unknown"
+}
+
+// Sample is one measurement. The struct is deliberately compact: a full
+// Top-10K study holds millions of them.
+type Sample struct {
+	Domain  int32 // index into Result.Domains
+	Country int16 // index into Result.Countries
+	Attempt uint8 // which sample of the pair (0-based)
+	Err     ErrCode
+	Status  int16
+	BodyLen int32
+	ExitIP  geo.IP
+	Seed    uint64 // replay key
+	Body    string // retained only when Config.KeepBody said so
+}
+
+// OK reports whether the sample carries an HTTP response.
+func (s *Sample) OK() bool { return s.Err == ErrNone }
+
+// Task is one (domain, country) pair to measure.
+type Task struct {
+	Domain  int32
+	Country int16
+}
+
+// DefaultShardSize is the task count per scheduler shard. Small enough
+// that a skewed country splits across every core, large enough that a
+// sticky session amortizes its connectivity pre-check.
+const DefaultShardSize = 32
+
+// Config tunes a scan.
+type Config struct {
+	// Samples per (domain, country) pair.
+	Samples int
+	// Retries per failed sample (the Lumscan reliability feature).
+	Retries int
+	// RequestsPerExit bounds per-exit load before rotation (paper: 10).
+	RequestsPerExit int
+	// MaxRedirects bounds the redirect chain (paper: 10).
+	MaxRedirects int
+	// Concurrency bounds the number of scheduler workers. Output is
+	// bit-identical at any value (see the package determinism contract).
+	Concurrency int
+	// ShardSize is the task count per scheduler shard. Zero takes
+	// DefaultShardSize. Shard boundaries feed the per-shard session
+	// slots, so changing ShardSize (unlike Concurrency) changes which
+	// exits serve which samples.
+	ShardSize int
+	// Headers are sent on every request. Use BrowserHeaders for the
+	// full browser set; a bare UA reproduces the ZGrab false positives.
+	Headers map[string]string
+	// KeepBody decides whether a sample retains its body. Nil keeps
+	// non-200 bodies (every block page is non-200).
+	KeepBody func(status, bodyLen int) bool
+	// Phase salts the per-sample seeds so that repeated passes over the
+	// same pairs draw fresh samples.
+	Phase string
+	// VerifyConnectivity runs the platform echo check when picking up a
+	// new exit, rotating away from dead machines.
+	VerifyConnectivity bool
+	// WrapTransport, when non-nil, wraps every transport the fetcher
+	// layer builds — the middleware seam for instrumentation, latency
+	// injection in benchmarks, or request logging. It must not change
+	// response contents, or the determinism contract breaks.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
+}
+
+// withDefaults fills zero fields with the §4.1.1 parameters.
+func (c Config) withDefaults() Config {
+	if c.Samples <= 0 {
+		c.Samples = 1
+	}
+	if c.MaxRedirects <= 0 {
+		c.MaxRedirects = 10
+	}
+	if c.RequestsPerExit <= 0 {
+		c.RequestsPerExit = 10
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = DefaultShardSize
+	}
+	if c.Headers == nil {
+		c.Headers = BrowserHeaders()
+	}
+	if c.KeepBody == nil {
+		c.KeepBody = func(status, _ int) bool { return status != 200 && status != 301 && status != 302 }
+	}
+	return c
+}
+
+// retryPolicy extracts the session layer's knobs.
+func (c Config) retryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Retries:            c.Retries,
+		RequestsPerExit:    c.RequestsPerExit,
+		VerifyProbes:       DefaultVerifyProbes,
+		VerifyConnectivity: c.VerifyConnectivity,
+	}
+}
+
+// BrowserHeaders is the full header set that suppresses bot detection
+// (§3.2: "merely setting User-Agent is insufficient").
+func BrowserHeaders() map[string]string {
+	return map[string]string{
+		"User-Agent":      "Mozilla/5.0 (Macintosh; Intel Mac OS X 10.13; rv:61.0) Gecko/20100101 Firefox/61.0",
+		"Accept":          "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8",
+		"Accept-Language": "en-US,en;q=0.5",
+	}
+}
+
+// ZGrabHeaders is the bare header set of the §3.1 VPS exploration.
+func ZGrabHeaders() map[string]string {
+	return map[string]string{
+		"User-Agent": "Mozilla/5.0 (Macintosh; Intel Mac OS X 10.13; rv:61.0) Gecko/20100101 Firefox/61.0",
+	}
+}
+
+// Result is a completed scan.
+type Result struct {
+	Domains   []string
+	Countries []geo.CountryCode
+	Samples   []Sample
+}
+
+// ExitLoad summarizes how many requests each exit machine served — the
+// accounting behind the paper's promise that the scan "keeps us from
+// consuming too many resources on any single end user's machine"
+// (§3.2). Counting is per contiguous stretch on an exit: the per-exit
+// budget bounds each stretch, and rotation cycles the inventory.
+type ExitLoad struct {
+	// MaxStretch is the longest run of consecutive samples served by
+	// one exit within a country.
+	MaxStretch int
+	// PerExit counts total samples per exit address.
+	PerExit map[geo.IP]int
+}
+
+// LoadReport computes the per-exit accounting from the samples.
+func (r *Result) LoadReport() ExitLoad {
+	load := ExitLoad{PerExit: map[geo.IP]int{}}
+	var prevExit geo.IP
+	var prevCountry int16 = -1
+	stretch := 0
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		if s.ExitIP == 0 {
+			continue
+		}
+		load.PerExit[s.ExitIP]++
+		if s.ExitIP == prevExit && s.Country == prevCountry {
+			stretch++
+		} else {
+			stretch = 1
+			prevExit, prevCountry = s.ExitIP, s.Country
+		}
+		if stretch > load.MaxStretch {
+			load.MaxStretch = stretch
+		}
+	}
+	return load
+}
+
+// CrossProduct builds the full task matrix.
+func CrossProduct(nDomains, nCountries int) []Task {
+	tasks := make([]Task, 0, nDomains*nCountries)
+	for c := 0; c < nCountries; c++ {
+		for d := 0; d < nDomains; d++ {
+			tasks = append(tasks, Task{Domain: int32(d), Country: int16(c)})
+		}
+	}
+	return tasks
+}
+
+// sampleSeed derives the deterministic per-sample seed.
+func sampleSeed(domain, country, phase string, attempt int) uint64 {
+	return stats.Mix64(hash(domain) ^ hash(country)<<1 ^ hash(phase)<<2 ^ uint64(attempt+1)*0x100000001b3)
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,166 @@
+// The scheduler layer: deterministic sharding and a work-stealing
+// worker pool with canonical-order emission.
+package scanner
+
+import (
+	"context"
+	"strconv"
+	"sync"
+)
+
+// shard is one schedulable unit: a contiguous chunk of one group's
+// (country's or VPS's) task list. Shards are fully independent — each
+// carries its own session slot — so any execution order yields the
+// same per-shard output.
+type shard struct {
+	seq   int    // canonical position (group-major, chunk order)
+	group int16  // country or VPS index
+	index int    // chunk index within the group
+	slot  uint64 // sticky-session slot, a pure function of (group, phase, index)
+	tasks []Task
+	out   []Sample // filled by the runner, released after emission
+}
+
+// buildShards chunks each group's tasks. Boundaries depend only on the
+// task lists and shardSize — never on Concurrency — so the shard set
+// (and through slotFor, every session slot) is stable across any
+// worker count.
+func buildShards(byGroup [][]Task, shardSize int, slotFor func(group int16, index int) uint64) []*shard {
+	var shards []*shard
+	for g, tasks := range byGroup {
+		for i := 0; len(tasks) > 0; i++ {
+			n := shardSize
+			if n > len(tasks) {
+				n = len(tasks)
+			}
+			shards = append(shards, &shard{
+				seq:   len(shards),
+				group: int16(g),
+				index: i,
+				slot:  slotFor(int16(g), i),
+				tasks: tasks[:n],
+			})
+			tasks = tasks[n:]
+		}
+	}
+	return shards
+}
+
+// shardSlot derives a shard's sticky-session slot from (country, phase,
+// shard index) — the determinism anchor: a shard lands on the same
+// exits no matter which worker runs it, or when.
+func shardSlot(country, phase string, index int) uint64 {
+	return hash(country + "/" + phase + "/" + strconv.Itoa(index))
+}
+
+// deque is one worker's shard queue. The owner pops from the front
+// (low canonical sequence first); thieves steal from the back, so a
+// skewed country's tail chunks migrate to idle workers.
+type deque struct {
+	mu     sync.Mutex
+	shards []*shard
+}
+
+func (d *deque) popFront() *shard {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.shards) == 0 {
+		return nil
+	}
+	sh := d.shards[0]
+	d.shards = d.shards[1:]
+	return sh
+}
+
+func (d *deque) stealBack() *shard {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.shards) == 0 {
+		return nil
+	}
+	sh := d.shards[len(d.shards)-1]
+	d.shards = d.shards[:len(d.shards)-1]
+	return sh
+}
+
+// emitter delivers completed shards to the sink in canonical order: a
+// reorder frontier holds out-of-order completions until every earlier
+// shard has been emitted. Emit is therefore always called sequentially
+// and in the same order regardless of scheduling.
+type emitter struct {
+	mu     sync.Mutex
+	sink   Sink
+	shards []*shard
+	done   []bool
+	next   int
+}
+
+func (e *emitter) complete(sh *shard) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.done[sh.seq] = true
+	for e.next < len(e.shards) && e.done[e.next] {
+		ready := e.shards[e.next]
+		for i := range ready.out {
+			e.sink.Emit(ready.out[i])
+		}
+		ready.out = nil // release bodies as soon as the sink has seen them
+		e.next++
+	}
+}
+
+// schedule fans shards out over a work-stealing pool and streams
+// completed shards to sink in canonical order. run must fill sh.out.
+// On context cancellation workers stop picking up shards and schedule
+// returns ctx.Err(); already-emitted samples are not retracted.
+func schedule(ctx context.Context, shards []*shard, workers int, run func(context.Context, *shard), sink Sink) error {
+	if len(shards) == 0 {
+		return ctx.Err()
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Round-robin distribution: shard i starts on worker i%workers, so
+	// a giant country's chunks are spread across the pool from the
+	// start and stealing only handles residual imbalance.
+	deques := make([]*deque, workers)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	for i, sh := range shards {
+		d := deques[i%workers]
+		d.shards = append(d.shards, sh)
+	}
+
+	em := &emitter{sink: sink, shards: shards, done: make([]bool, len(shards))}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				sh := deques[w].popFront()
+				if sh == nil {
+					for off := 1; off < workers && sh == nil; off++ {
+						sh = deques[(w+off)%workers].stealBack()
+					}
+				}
+				if sh == nil {
+					return // pool drained: the shard set is static
+				}
+				run(ctx, sh)
+				em.complete(sh)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,93 @@
+// The session layer: sticky proxy-session acquisition, the
+// connectivity pre-check loop, and per-exit budget rotation.
+package scanner
+
+import (
+	"geoblock/internal/geo"
+	"geoblock/internal/proxy"
+)
+
+// DefaultVerifyProbes bounds the connectivity pre-check loop on a
+// fresh exit, so a fully dark inventory degrades into plain failures
+// rather than spinning.
+const DefaultVerifyProbes = 5
+
+// RetryPolicy is the session layer's contract, extracted from the old
+// fetchWithRetries: how many times a failed sample is retried, when
+// the exit budget forces rotation, and how hard to probe for a live
+// exit before giving up on the pre-check.
+type RetryPolicy struct {
+	// Retries per failed sample (attempts = 1 + Retries).
+	Retries int
+	// RequestsPerExit bounds per-exit load before rotation (paper: 10).
+	RequestsPerExit int
+	// VerifyProbes bounds the pre-check loop on a fresh exit.
+	VerifyProbes int
+	// VerifyConnectivity enables the platform echo check.
+	VerifyConnectivity bool
+}
+
+// session wraps a sticky proxy.Session with the policy-driven
+// housekeeping every attempt needs. Like proxy.Session it is owned by
+// a single shard and is not safe for concurrent use.
+type session struct {
+	s   *proxy.Session
+	pol RetryPolicy
+}
+
+// openSession acquires a sticky session for cc starting at the
+// deterministic slot.
+func openSession(net *proxy.Network, cc geo.CountryCode, slot uint64, pol RetryPolicy) (*session, error) {
+	if pol.VerifyProbes <= 0 {
+		pol.VerifyProbes = DefaultVerifyProbes
+	}
+	s, err := net.NewSession(cc, slot)
+	if err != nil {
+		return nil, err
+	}
+	return &session{s: s, pol: pol}, nil
+}
+
+// ready prepares the current exit for one attempt: rotates when the
+// per-exit budget is spent, then runs the connectivity pre-check on
+// whatever fresh exit the session lands on.
+func (se *session) ready(seed uint64) {
+	if se.s.Used() >= se.pol.RequestsPerExit {
+		se.s.Rotate()
+	}
+	if se.pol.VerifyConnectivity && se.s.Used() == 0 {
+		for probe := 0; probe < se.pol.VerifyProbes; probe++ {
+			if _, _, err := se.s.Verify(seed + uint64(probe)); err == nil {
+				break
+			}
+			se.s.Rotate()
+		}
+	}
+}
+
+// rotate abandons the current exit (after a failed attempt).
+func (se *session) rotate() { se.s.Rotate() }
+
+// exitIP is the address of the exit the next attempt will use.
+func (se *session) exitIP() geo.IP { return se.s.Exit().IP }
+
+// transport exposes the raw session as the fetcher's RoundTripper.
+func (se *session) transport() *proxy.Session { return se.s }
+
+// fetchReliable performs one logical sample under the policy: up to
+// 1+Retries attempts, rotating the exit between attempts and whenever
+// the per-exit budget is spent. Luminati refusals are terminal — the
+// platform's answer will not change with another exit.
+func fetchReliable(f *fetcher, se *session, domain string, seed uint64, t Task, attempt uint8) Sample {
+	var last Sample
+	for try := 0; try <= se.pol.Retries; try++ {
+		se.ready(seed)
+		trySeed := seed + uint64(try)*0x9e3779b97f4a7c15
+		last = f.fetch(domain, trySeed, t, attempt, se.exitIP())
+		if last.Err == ErrNone || last.Err == ErrLuminati {
+			return last
+		}
+		se.rotate()
+	}
+	return last
+}

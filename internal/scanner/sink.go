@@ -1,0 +1,41 @@
+// The sink layer: streaming delivery of samples.
+package scanner
+
+// Sink receives samples as shards complete. The engine serializes
+// calls and delivers in canonical country-major, task-order sequence
+// (see the package determinism contract), so implementations need no
+// locking and may rely on the order.
+//
+// A folding sink that digests each sample and drops it (bodies
+// included) bounds a scan's peak memory by the in-flight shards
+// instead of the full result — the difference between streaming a
+// Top-1M pass and materializing millions of retained block pages.
+type Sink interface {
+	Emit(s Sample)
+}
+
+// SinkFunc adapts a plain function to the Sink interface.
+type SinkFunc func(Sample)
+
+// Emit calls f(s).
+func (f SinkFunc) Emit(s Sample) { f(s) }
+
+// Collect is the materializing sink: it reproduces the classic
+// in-memory sample slice, in canonical order.
+type Collect struct {
+	Samples []Sample
+}
+
+// Emit appends s.
+func (c *Collect) Emit(s Sample) { c.Samples = append(c.Samples, s) }
+
+// DropBodies wraps a sink, clearing each sample's body before
+// delivery — for consumers that only fold statuses and lengths but
+// want to keep a Config whose KeepBody drives classification
+// elsewhere.
+func DropBodies(next Sink) Sink {
+	return SinkFunc(func(s Sample) {
+		s.Body = ""
+		next.Emit(s)
+	})
+}
