@@ -17,9 +17,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
 	"geoblock"
 	"geoblock/internal/analysis"
+	"geoblock/internal/faults"
 	"geoblock/internal/papertables"
 )
 
@@ -28,6 +30,9 @@ func main() {
 	seed := flag.Uint64("seed", 403, "world seed")
 	study := flag.String("study", "top10k", "study to run: top10k, top1m, explore, ooni, cfrules, extensions, all")
 	verbose := flag.Bool("v", false, "log progress")
+	faultsFlag := flag.String("faults", "", "chaos profile to inject into the proxy mesh: "+strings.Join(faults.Names(), ", "))
+	faultSeed := flag.Uint64("faultseed", 1, "fault-injection seed (reproducible chaos)")
+	faultCountry := flag.String("faultcountry", "", "restrict the chaos profile to one country code (default: all)")
 	flag.Parse()
 
 	// Ctrl-C cancels in-flight scans; studies then return partial
@@ -44,8 +49,26 @@ func main() {
 	sys := geoblock.New(opts)
 	out := os.Stdout
 
+	if *faultsFlag != "" {
+		profile, ok := faults.Named(*faultsFlag)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "geoscan: unknown fault profile %q (have: %s)\n",
+				*faultsFlag, strings.Join(faults.Names(), ", "))
+			os.Exit(2)
+		}
+		inj := faults.New(*faultSeed)
+		if *faultCountry != "" {
+			inj.Country(geoblock.CountryCode(strings.ToUpper(*faultCountry)), profile)
+		} else {
+			inj.Default(profile)
+		}
+		sys.Net().SetFaults(inj)
+		fmt.Fprintf(os.Stderr, "geoscan: chaos profile %q (seed %d) active\n", *faultsFlag, *faultSeed)
+	}
+
 	runTop10K := func() {
 		r := sys.RunTop10K(geoblock.Top10KConfig{})
+		papertables.PrintCoverage(out, "top10k initial snapshot", r.Outages, r.Coverage)
 		papertables.FindingsSummary(out, r)
 		papertables.PrintTable1(out, analysis.BuildTable1(r))
 		rows, total := analysis.BuildTable2(r)
@@ -62,6 +85,7 @@ func main() {
 
 	runTop1M := func() {
 		r := sys.RunTop1M(geoblock.Top1MConfig{})
+		papertables.PrintCoverage(out, "top1m snapshot", r.Outages, r.Coverage)
 		fmt.Fprintf(out, "Top 1M: %d customers discovered, %d eligible, %d sampled, %d explicit findings\n\n",
 			r.Discovered.Total(), r.EligibleCount, len(r.TestDomains), len(r.ExplicitFindings))
 		papertables.PrintCountryCDN(out, "Table 7: Geoblocking among Top 1M sites, by country",

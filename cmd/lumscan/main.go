@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"geoblock"
+	"geoblock/internal/faults"
 	"geoblock/internal/fingerprint"
 	"geoblock/internal/geo"
 	"geoblock/internal/lumscan"
@@ -32,11 +33,31 @@ func main() {
 	seed := flag.Uint64("seed", 403, "world seed")
 	zgrab := flag.Bool("zgrab", false, "use the bare ZGrab header set instead of browser headers")
 	showErrors := flag.Bool("errors", false, "print failed samples too")
+	faultsFlag := flag.String("faults", "", "chaos profile to inject: "+strings.Join(faults.Names(), ", "))
+	faultSeed := flag.Uint64("faultseed", 1, "fault-injection seed (reproducible chaos)")
+	faultCountry := flag.String("faultcountry", "", "restrict the chaos profile to one country code (default: all)")
 	flag.Parse()
 
 	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale})
 	net := proxy.NewNetwork(sys.World)
 	cls := fingerprint.NewClassifier()
+
+	if *faultsFlag != "" {
+		profile, ok := faults.Named(*faultsFlag)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lumscan: unknown fault profile %q (have: %s)\n",
+				*faultsFlag, strings.Join(faults.Names(), ", "))
+			os.Exit(2)
+		}
+		inj := faults.New(*faultSeed)
+		if *faultCountry != "" {
+			inj.Country(geo.CountryCode(strings.ToUpper(*faultCountry)), profile)
+		} else {
+			inj.Default(profile)
+		}
+		net.SetFaults(inj)
+		fmt.Fprintf(os.Stderr, "lumscan: chaos profile %q (seed %d) active\n", *faultsFlag, *faultSeed)
+	}
 
 	var domains []string
 	if *domainsFlag == "all" {
@@ -80,7 +101,7 @@ func main() {
 		"DOMAIN", "CC", "N", "STATUS", "BYTES", "EXIT", "PAGE")
 	err := lumscan.ScanStream(ctx, net, domains, countries,
 		lumscan.CrossProduct(len(domains), len(countries)), cfg,
-		lumscan.SinkFunc(func(s lumscan.Sample) {
+		&cliSink{emit: func(s lumscan.Sample) {
 			domain := domains[s.Domain]
 			cc := countries[s.Country]
 			if !s.OK() {
@@ -98,9 +119,42 @@ func main() {
 			}
 			fmt.Printf("%-28s %-4s %-3d %-8d %-6d %-16s %s\n",
 				domain, cc, s.Attempt, s.Status, s.BodyLen, s.ExitIP, page)
-		}))
+		}})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lumscan: interrupted: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// cliSink streams samples to stdout and the degradation accounting —
+// per-country outages and the attained-vs-requested coverage line — to
+// stderr, where it survives piping the sample stream elsewhere.
+type cliSink struct {
+	emit func(lumscan.Sample)
+}
+
+func (c *cliSink) Emit(s lumscan.Sample) { c.emit(s) }
+
+func (c *cliSink) EmitOutage(o lumscan.Outage) {
+	fmt.Fprintf(os.Stderr, "lumscan: outage %s (%s): %d/%d shards, %d tasks lost\n",
+		o.Country, o.Reason, o.Shards, o.ShardsTotal, o.Tasks)
+}
+
+func (c *cliSink) EmitCoverage(cov lumscan.Coverage) {
+	if cov.Full() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "lumscan: coverage %d/%d countries attained (%d tasks lost; lost: %s)\n",
+		cov.Attained, cov.Requested, cov.TasksLost, joinCountries(cov.Lost))
+}
+
+func joinCountries(ccs []geo.CountryCode) string {
+	if len(ccs) == 0 {
+		return "none fully"
+	}
+	parts := make([]string, len(ccs))
+	for i, cc := range ccs {
+		parts[i] = string(cc)
+	}
+	return strings.Join(parts, ",")
 }

@@ -27,6 +27,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/ooni"
 	"geoblock/internal/pipeline"
+	"geoblock/internal/proxy"
 	"geoblock/internal/worldgen"
 )
 
@@ -115,6 +116,13 @@ func New(opts Options) *System {
 	s.Log = opts.Log
 	s.Ctx = opts.Ctx
 	return &System{World: w, study: s}
+}
+
+// Net exposes the system's residential proxy mesh — the seam for
+// installing a fault-injection hook (internal/faults) before a chaos
+// run.
+func (s *System) Net() *proxy.Network {
+	return s.study.Net
 }
 
 // RunTop10K executes the Alexa Top-10K study of §4: safe-list

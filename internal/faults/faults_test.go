@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"geoblock/internal/geo"
+	"geoblock/internal/proxy"
+	"geoblock/internal/vnet"
+)
+
+func TestDeterministicVerdicts(t *testing.T) {
+	p := Profile{DarkExits: 0.3, ExitFailure: 0.2, Stall: 0.1, Truncate: 0.1, Churn: 0.4, Brownout: 0.3}
+	a := New(9).Default(p)
+	b := New(9).Default(p)
+	for i := 0; i < 500; i++ {
+		exit := geo.IP(i * 7919)
+		cc := geo.CountryCode("IR")
+		if a.ExitDark(cc, exit) != b.ExitDark(cc, exit) {
+			t.Fatal("ExitDark diverged for identical seeds")
+		}
+		if a.Churned(cc, exit, i%10) != b.Churned(cc, exit, i%10) {
+			t.Fatal("Churned diverged for identical seeds")
+		}
+		if a.Brownout(cc, uint64(i), i%3) != b.Brownout(cc, uint64(i), i%3) {
+			t.Fatal("Brownout diverged for identical seeds")
+		}
+		if a.Request(cc, exit, "x.com", uint64(i)) != b.Request(cc, exit, "x.com", uint64(i)) {
+			t.Fatal("Request diverged for identical seeds")
+		}
+	}
+	// A different seed must not reproduce the same dark set.
+	c := New(10).Default(p)
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.ExitDark("IR", geo.IP(i*7919)) == c.ExitDark("IR", geo.IP(i*7919)) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("seeds 9 and 10 drew identical dark sets")
+	}
+}
+
+func TestDarkFractionTracksProfile(t *testing.T) {
+	in := New(21).Default(Profile{DarkExits: 0.5})
+	dark := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if in.ExitDark("BR", geo.IP(i)) {
+			dark++
+		}
+	}
+	frac := float64(dark) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("dark fraction %.3f for DarkExits 0.5", frac)
+	}
+}
+
+func TestPerCountryOverride(t *testing.T) {
+	in := New(4).Country("IR", Profile{DarkExits: 1})
+	for i := 0; i < 100; i++ {
+		if !in.ExitDark("IR", geo.IP(i)) {
+			t.Fatal("IR exit not dark under DarkExits 1")
+		}
+		if in.ExitDark("US", geo.IP(i)) {
+			t.Fatal("US exit dark with no default profile")
+		}
+	}
+}
+
+func TestBrownoutClears(t *testing.T) {
+	in := New(8).Default(Profile{Brownout: 1, BrownoutLen: 2})
+	if !in.Brownout("US", 5, 0) || !in.Brownout("US", 5, 1) {
+		t.Fatal("brownout should cover attempts 0 and 1")
+	}
+	if in.Brownout("US", 5, 2) {
+		t.Fatal("brownout should clear at attempt 2")
+	}
+	perm := New(8).Default(Profile{Brownout: 1, BrownoutLen: -1})
+	if !perm.Brownout("US", 5, 1000) {
+		t.Fatal("permanent brownout cleared")
+	}
+}
+
+func TestChurnKillsAfterStableThreshold(t *testing.T) {
+	in := New(6).Default(Profile{Churn: 1})
+	exit := geo.IP(12345)
+	death := -1
+	for served := 0; served < churnSpan+2; served++ {
+		if in.Churned("DE", exit, served) {
+			death = served
+			break
+		}
+	}
+	if death < 1 || death > churnSpan {
+		t.Fatalf("churned exit died at served=%d, want within [1, %d]", death, churnSpan)
+	}
+	// Once dead, dead for every larger served count.
+	for served := death; served < death+5; served++ {
+		if !in.Churned("DE", exit, served) {
+			t.Fatalf("exit resurrected at served=%d", served)
+		}
+	}
+}
+
+func TestRequestSplitsOneDraw(t *testing.T) {
+	in := New(30).Default(Profile{ExitFailure: 0.2, Stall: 0.2, Truncate: 0.2})
+	counts := map[proxy.FaultVerdict]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[in.Request("RU", geo.IP(i), "a.com", uint64(i))]++
+	}
+	for _, v := range []proxy.FaultVerdict{proxy.FaultExitDown, proxy.FaultStall, proxy.FaultTruncate} {
+		frac := float64(counts[v]) / n
+		if frac < 0.15 || frac > 0.25 {
+			t.Fatalf("verdict %d drawn at %.3f, want ≈0.2", v, frac)
+		}
+	}
+	if frac := float64(counts[proxy.FaultNone]) / n; frac < 0.35 || frac > 0.45 {
+		t.Fatalf("clean fraction %.3f, want ≈0.4", frac)
+	}
+}
+
+func TestNamedProfiles(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("only %d named profiles; the chaos matrix needs 6+", len(names))
+	}
+	for _, n := range names {
+		p, ok := Named(n)
+		if !ok {
+			t.Fatalf("Names lists %q but Named rejects it", n)
+		}
+		if !p.active() {
+			t.Fatalf("profile %q injects nothing", n)
+		}
+	}
+	if _, ok := Named("nope"); ok {
+		t.Fatal("Named accepted an unknown profile")
+	}
+}
+
+// flatTripper serves a fixed body, standing in for a vnet stack.
+type flatTripper struct{ body string }
+
+func (f flatTripper) RoundTrip(*http.Request) (*http.Response, error) {
+	h := http.Header{}
+	h.Set("Content-Length", "1000")
+	return &http.Response{
+		StatusCode:    200,
+		Header:        h,
+		ContentLength: int64(len(f.body)),
+		Body:          io.NopCloser(strings.NewReader(f.body)),
+	}, nil
+}
+
+func TestWrapTransport(t *testing.T) {
+	body := strings.Repeat("x", 1000)
+	in := New(2).Default(Profile{Truncate: 1})
+	rt := in.WrapTransport(flatTripper{body: body})
+
+	ctx := vnet.WithSampleSeed(context.Background(), 77)
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://site.com/", nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ContentLength != -1 || resp.Header.Get("Content-Length") != "" {
+		t.Fatal("truncated response still advertises a length")
+	}
+	read, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("truncated body read to completion")
+	}
+	if len(read) >= len(body) {
+		t.Fatalf("read %d bytes of %d despite truncation", len(read), len(body))
+	}
+
+	// Stall and exit-failure verdicts surface as typed transport errors.
+	stall := New(2).Default(Profile{Stall: 1}).WrapTransport(flatTripper{body: body})
+	if _, err := stall.RoundTrip(req); err == nil {
+		t.Fatal("stall produced no error")
+	} else if op, ok := err.(*vnet.OpError); !ok || !op.Timeout() {
+		t.Fatalf("stall error = %v, want timeout OpError", err)
+	}
+	down := New(2).Default(Profile{ExitFailure: 1}).WrapTransport(flatTripper{body: body})
+	if _, err := down.RoundTrip(req); err == nil {
+		t.Fatal("exit failure produced no error")
+	}
+
+	// A clean profile passes the response through untouched.
+	clean := New(2).WrapTransport(flatTripper{body: body})
+	resp, err = clean.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := io.ReadAll(resp.Body); len(got) != len(body) {
+		t.Fatalf("clean transport altered the body: %d bytes of %d", len(got), len(body))
+	}
+}

@@ -55,9 +55,22 @@ type (
 	SinkFunc = scanner.SinkFunc
 	// Collect is the materializing sink.
 	Collect = scanner.Collect
+	// Outage is the typed per-country degradation record.
+	Outage = scanner.Outage
+	// OutageReason classifies why a country produced no measurements.
+	OutageReason = scanner.OutageReason
+	// OutageSink is the optional sink channel for outage/coverage records.
+	OutageSink = scanner.OutageSink
+	// Coverage is the attained-vs-requested summary of a run.
+	Coverage = scanner.Coverage
 )
 
 const (
+	OutageNone     = scanner.OutageNone
+	OutageNoExits  = scanner.OutageNoExits
+	OutageBrownout = scanner.OutageBrownout
+	OutageDark     = scanner.OutageDark
+
 	ErrNone      = scanner.ErrNone
 	ErrProxy     = scanner.ErrProxy
 	ErrTimeout   = scanner.ErrTimeout

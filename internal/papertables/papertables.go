@@ -13,6 +13,7 @@ import (
 	"geoblock/internal/blockpage"
 	"geoblock/internal/cfrules"
 	"geoblock/internal/geo"
+	"geoblock/internal/lumscan"
 	"geoblock/internal/ooni"
 	"geoblock/internal/pipeline"
 	"geoblock/internal/report"
@@ -376,4 +377,31 @@ func PrintRegional(w io.Writer, findings []pipeline.RegionalFinding) {
 	}
 	report.Table(w, "Extension: region-granular blocking — Crimea vs mainland Ukraine (§4.2.2)",
 		[]string{"Domain", "Page", "Crimea rate", "Mainland rate"}, rows)
+}
+
+// PrintCoverage renders a scan phase's degradation accounting: one row
+// per country outage plus the attained-vs-requested coverage line. A
+// run with full coverage prints a single confirmation line, so readers
+// of a degraded report can tell the difference between "nothing lost"
+// and "nobody checked".
+func PrintCoverage(w io.Writer, phase string, outages []lumscan.Outage, cov lumscan.Coverage) {
+	if len(outages) == 0 {
+		fmt.Fprintf(w, "Coverage (%s): %d/%d countries, no outages\n\n", phase, cov.Attained, cov.Requested)
+		return
+	}
+	rows := make([][]string, 0, len(outages))
+	for _, o := range outages {
+		extent := "partial"
+		if o.Full() {
+			extent = "full"
+		}
+		rows = append(rows, []string{
+			string(o.Country), o.Reason.String(),
+			fmt.Sprintf("%d/%d", o.Shards, o.ShardsTotal),
+			report.Itoa(o.Tasks), extent,
+		})
+	}
+	report.Table(w, fmt.Sprintf("Coverage (%s): %d/%d countries attained, %d tasks lost",
+		phase, cov.Attained, cov.Requested, cov.TasksLost),
+		[]string{"Country", "Reason", "Shards lost", "Tasks", "Extent"}, rows)
 }

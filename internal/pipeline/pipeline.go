@@ -58,6 +58,21 @@ func (s *Study) ctx() context.Context {
 	return context.Background()
 }
 
+// logCoverage reports a degraded scan phase: which countries were lost
+// and how far short of the requested coverage the run fell. A full run
+// stays quiet.
+func (s *Study) logCoverage(phase string, outages []lumscan.Outage, cov lumscan.Coverage) {
+	if len(outages) == 0 {
+		return
+	}
+	for _, o := range outages {
+		s.logf("%s: outage %s (%s): %d/%d shards, %d tasks lost",
+			phase, o.Country, o.Reason, o.Shards, o.ShardsTotal, o.Tasks)
+	}
+	s.logf("%s: coverage %d/%d countries (%d tasks lost)",
+		phase, cov.Attained, cov.Requested, cov.TasksLost)
+}
+
 // Finding is one confirmed geoblocking observation: a (domain, country)
 // pair that served an explicit geoblock page in at least the threshold
 // fraction of its samples.

@@ -77,6 +77,14 @@ type Top10KResult struct {
 	NeverResponded  int
 	LuminatiBlocked int
 
+	// Degradation accounting for the initial snapshot: countries that
+	// lost shards to dead or browned-out infrastructure, and the
+	// coverage attained vs requested. A degraded run keeps its typed
+	// outage records here instead of leaking sentinel values into the
+	// table math.
+	Outages  []lumscan.Outage
+	Coverage lumscan.Coverage
+
 	// Outlier extraction (§4.1.2).
 	RepCountries   []geo.CountryCode
 	Rep            *outlier.Representative
@@ -122,7 +130,9 @@ func (s *Study) RunTop10K(cfg Top10KConfig) *Top10KResult {
 	scanCfg.Phase = "top10k-initial"
 	r.Initial, _ = lumscan.ScanCtx(s.ctx(), s.Net, r.SafeDomains, r.Countries,
 		lumscan.CrossProduct(len(r.SafeDomains), len(r.Countries)), scanCfg)
+	r.Outages, r.Coverage = r.Initial.Outages, r.Initial.Coverage
 	s.logf("top10k: initial snapshot %d samples", len(r.Initial.Samples))
+	s.logCoverage("top10k", r.Outages, r.Coverage)
 
 	s.populationDiagnostics(r)
 

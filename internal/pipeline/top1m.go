@@ -74,6 +74,10 @@ type Top1MResult struct {
 	NeverResponded  int
 	LuminatiBlocked int
 
+	// Degradation accounting for the snapshot (see Top10KResult).
+	Outages  []lumscan.Outage
+	Coverage lumscan.Coverage
+
 	// Explicit geoblockers (§5.2.1).
 	CandidatePairs    int
 	ExplicitFindings  []Finding
@@ -106,6 +110,8 @@ func (s *Study) RunTop1M(cfg Top1MConfig) *Top1MResult {
 	scanCfg.Phase = "top1m-initial"
 	r.Initial, _ = lumscan.ScanCtx(s.ctx(), s.Net, r.TestDomains, r.Countries,
 		lumscan.CrossProduct(len(r.TestDomains), len(r.Countries)), scanCfg)
+	r.Outages, r.Coverage = r.Initial.Outages, r.Initial.Coverage
+	s.logCoverage("top1m", r.Outages, r.Coverage)
 	s.diagnostics1M(r)
 
 	s.confirmExplicit1M(r)

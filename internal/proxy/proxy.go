@@ -13,6 +13,7 @@ package proxy
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 
 	"geoblock/internal/geo"
@@ -39,11 +40,56 @@ type Exit struct {
 	InCrimea bool
 }
 
+// FaultVerdict is a fault hook's decision for one request through an
+// exit.
+type FaultVerdict uint8
+
+const (
+	// FaultNone: the request proceeds normally.
+	FaultNone FaultVerdict = iota
+	// FaultExitDown: the exit connection fails at the superproxy.
+	FaultExitDown
+	// FaultStall: the connection stalls until the client times out
+	// (slowloris-shaped failure).
+	FaultStall
+	// FaultTruncate: the response body is cut mid-transfer.
+	FaultTruncate
+	// FaultReset: the connection is reset before any response.
+	FaultReset
+)
+
+// FaultHook is the mesh's fault-injection seam (internal/faults holds
+// the standard implementation). Every method MUST be a pure function of
+// its arguments plus the hook's own seed — never of call order, shared
+// mutable state, or wall time — or scan output stops being reproducible
+// across Concurrency values. Hooks are called concurrently.
+type FaultHook interface {
+	// Brownout reports whether the superproxy refuses to open a session
+	// for cc at slot on the given (0-based) open attempt. Transient
+	// brownouts clear after a profile-determined number of attempts.
+	Brownout(cc geo.CountryCode, slot uint64, attempt int) bool
+	// ExitDark reports whether exit is dark for the whole run: it fails
+	// the connectivity pre-check and every request.
+	ExitDark(cc geo.CountryCode, exit geo.IP) bool
+	// Churned reports whether exit has died mid-session after serving
+	// `served` requests on the current sticky stretch.
+	Churned(cc geo.CountryCode, exit geo.IP, served int) bool
+	// Request draws the per-request fault verdict. seed is the
+	// deterministic per-sample seed.
+	Request(cc geo.CountryCode, exit geo.IP, host string, seed uint64) FaultVerdict
+}
+
 // Network is the proxy mesh.
 type Network struct {
-	World *worldgen.World
-	exits map[geo.CountryCode][]*Exit
+	World  *worldgen.World
+	exits  map[geo.CountryCode][]*Exit
+	faults FaultHook
 }
+
+// SetFaults installs (or, with nil, removes) the fault-injection hook.
+// Install before opening sessions; the hook is shared by every session
+// the network hands out.
+func (n *Network) SetFaults(h FaultHook) { n.faults = h }
 
 // maxExitsPerCountry caps the materialized inventory; rotation cycles
 // within it.
@@ -155,6 +201,18 @@ func (e *ErrNoExits) Error() string {
 	return fmt.Sprintf("proxy: no exits available in %s", e.Country)
 }
 
+// ErrBrownout is returned when the superproxy fronting a country is
+// (transiently) refusing to open sessions. Unlike ErrNoExits it is
+// worth retrying: brownouts clear.
+type ErrBrownout struct {
+	Country geo.CountryCode
+	Attempt int
+}
+
+func (e *ErrBrownout) Error() string {
+	return fmt.Sprintf("proxy: superproxy brownout in %s (open attempt %d)", e.Country, e.Attempt)
+}
+
 // Session is a sticky proxy session: requests flow through one exit
 // until the caller rotates. Sessions are not safe for concurrent use;
 // open one per worker, as the real superproxy protocol does.
@@ -170,9 +228,20 @@ type Session struct {
 // deterministic position derived from slot (workers pass distinct
 // slots to spread over the inventory).
 func (n *Network) NewSession(cc geo.CountryCode, slot uint64) (*Session, error) {
+	return n.NewSessionAttempt(cc, slot, 0)
+}
+
+// NewSessionAttempt is NewSession with an explicit 0-based open-attempt
+// index, which the fault hook consults for superproxy brownouts: a
+// browned-out open fails with *ErrBrownout, and retrying with a higher
+// attempt may succeed once the brownout clears.
+func (n *Network) NewSessionAttempt(cc geo.CountryCode, slot uint64, attempt int) (*Session, error) {
 	exits := n.exits[cc]
 	if len(exits) == 0 {
 		return nil, &ErrNoExits{Country: cc}
+	}
+	if n.faults != nil && n.faults.Brownout(cc, slot, attempt) {
+		return nil, &ErrBrownout{Country: cc, Attempt: attempt}
 	}
 	return &Session{
 		net:   n,
@@ -206,6 +275,10 @@ func (n *Network) NewRegionSession(cc geo.CountryCode, crimea bool, slot uint64)
 // Exit returns the session's current exit.
 func (s *Session) Exit() *Exit { return s.exits[s.cur] }
 
+// InventorySize is the number of exits the session rotates over — the
+// upper bound on how many distinct machines a probe sweep can reach.
+func (s *Session) InventorySize() int { return len(s.exits) }
+
 // Rotate moves the session to the next exit machine.
 func (s *Session) Rotate() {
 	s.cur = (s.cur + 1) % len(s.exits)
@@ -221,6 +294,9 @@ func (s *Session) Used() int { return s.used }
 // (transiently) broken.
 func (s *Session) Verify(seed uint64) (geo.IP, geo.CountryCode, error) {
 	e := s.Exit()
+	if s.net.faults != nil && s.net.faults.ExitDark(s.cc, e.IP) {
+		return 0, "", &vnet.OpError{Op: "proxy", Host: "lumtest.example", Msg: "exit dark"}
+	}
 	rng := stats.NewRNG(stats.Mix64(seed) ^ uint64(e.IP) ^ 0xc0ffee)
 	if !rng.Bool(e.Reliability) {
 		return 0, "", &vnet.OpError{Op: "proxy", Host: "lumtest.example", Msg: "exit unavailable"}
@@ -234,11 +310,32 @@ func (s *Session) Verify(seed uint64) (geo.IP, geo.CountryCode, error) {
 // network path from the exit's address.
 func (s *Session) RoundTrip(req *http.Request) (*http.Response, error) {
 	e := s.Exit()
+	served := s.used
 	s.used++
 
 	host := trimHost(req.URL.Hostname())
 	seed, _ := vnet.SampleSeed(req.Context())
 	rng := stats.NewRNG(stats.Mix64(seed) ^ uint64(e.IP) ^ hash(host))
+
+	// Injected faults sit in front of the mesh's organic error
+	// structure, so a chaos run layers on top of (never replaces) the
+	// paper's baseline unreliability.
+	truncate := false
+	if f := s.net.faults; f != nil {
+		if f.ExitDark(s.cc, e.IP) || f.Churned(s.cc, e.IP, served) {
+			return nil, &vnet.OpError{Op: "proxy", Host: host, Msg: "superproxy: exit connection failed"}
+		}
+		switch f.Request(s.cc, e.IP, host, seed) {
+		case FaultExitDown:
+			return nil, &vnet.OpError{Op: "proxy", Host: host, Msg: "superproxy: exit connection failed"}
+		case FaultStall:
+			return nil, vnet.TimeoutError("read", host)
+		case FaultReset:
+			return nil, &vnet.OpError{Op: "read", Host: host, Msg: "connection reset by peer"}
+		case FaultTruncate:
+			truncate = true
+		}
+	}
 
 	if d, ok := s.net.World.Lookup(host); ok && d.LuminatiRestricted {
 		h := make(http.Header)
@@ -272,8 +369,49 @@ func (s *Session) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 
 	stack := vnet.NewStack(s.net.World, e.IP)
-	return stack.RoundTrip(req)
+	resp, err := stack.RoundTrip(req)
+	if err == nil && truncate {
+		truncateResponse(resp, seed)
+	}
+	return resp, err
 }
+
+// truncateResponse rewrites resp so the transfer dies mid-body: the
+// advertised length disappears and reads fail after a seed-determined
+// prefix, the way a dropped residential uplink looks to the client.
+func truncateResponse(resp *http.Response, seed uint64) {
+	keep := int(stats.Mix64(seed^0x7c1) % 512)
+	resp.Header = resp.Header.Clone()
+	if resp.Header != nil {
+		resp.Header.Del("Content-Length")
+	}
+	resp.ContentLength = -1
+	resp.Body = &truncatedBody{inner: resp.Body, remaining: keep}
+}
+
+// truncatedBody yields at most `remaining` bytes, then fails the read.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, &vnet.OpError{Op: "read", Host: "", Msg: "connection reset mid-transfer"}
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		// The origin finished first: the fault still eats the FIN.
+		return n, &vnet.OpError{Op: "read", Host: "", Msg: "connection reset mid-transfer"}
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }
 
 // pathUnreachable draws the stable per-(country, destination) transit
 // verdict.

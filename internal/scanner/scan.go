@@ -4,6 +4,7 @@ package scanner
 
 import (
 	"context"
+	"errors"
 
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
@@ -13,6 +14,13 @@ import (
 // sink in canonical country-major, task-order sequence. It returns
 // ctx.Err() if the scan was cancelled (in which case the sink holds a
 // prefix of the full run), nil otherwise.
+//
+// Degradation contract: a country whose exits are exhausted — empty
+// inventory, a superproxy that never accepts a session, or a dark
+// inventory the circuit breaker writes off — still emits its samples
+// (as ErrNoExits), and a sink that implements OutageSink additionally
+// receives one typed Outage per affected country followed by the
+// run's Coverage summary.
 func Run(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, tasks []Task, cfg Config, sink Sink) error {
 	cfg = cfg.withDefaults()
 	pol := cfg.retryPolicy()
@@ -28,7 +36,17 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 	run := func(ctx context.Context, sh *shard) {
 		sh.out = scanShard(ctx, net, domains, countries, sh, cfg, pol)
 	}
-	return schedule(ctx, shards, cfg.Concurrency, run, sink)
+	if err := schedule(ctx, shards, cfg.Concurrency, run, sink); err != nil {
+		return err
+	}
+	if os, ok := sink.(OutageSink); ok {
+		outages, cov := accountOutages(shards, countries)
+		for _, o := range outages {
+			os.EmitOutage(o)
+		}
+		os.EmitCoverage(cov)
+	}
+	return nil
 }
 
 // Scan is the collecting form of Run: it materializes the full Result.
@@ -37,16 +55,23 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 func Scan(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, tasks []Task, cfg Config) (*Result, error) {
 	var c Collect
 	err := Run(ctx, net, domains, countries, tasks, cfg, &c)
-	return &Result{Domains: domains, Countries: countries, Samples: c.Samples}, err
+	return &Result{Domains: domains, Countries: countries, Samples: c.Samples, Outages: c.Outages, Coverage: c.Coverage}, err
 }
 
-// scanShard runs one shard's tasks through its own sticky session.
+// scanShard runs one shard's tasks through its own sticky session,
+// recording on the shard why (if at all) its tasks were lost.
 func scanShard(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, sh *shard, cfg Config, pol RetryPolicy) []Sample {
 	out := make([]Sample, 0, len(sh.tasks)*cfg.Samples)
 	cc := countries[sh.group]
 
 	se, err := openSession(net, cc, sh.slot, pol)
 	if err != nil {
+		var brown *proxy.ErrBrownout
+		if errors.As(err, &brown) {
+			sh.lost = OutageBrownout
+		} else {
+			sh.lost = OutageNoExits
+		}
 		for _, t := range sh.tasks {
 			for a := 0; a < cfg.Samples; a++ {
 				out = append(out, Sample{Domain: t.Domain, Country: t.Country, Attempt: uint8(a), Err: ErrNoExits})
@@ -66,5 +91,64 @@ func scanShard(ctx context.Context, net *proxy.Network, domains []string, countr
 			out = append(out, fetchReliable(f, se, domain, seed, t, uint8(a)))
 		}
 	}
+	if se.dark() {
+		sh.lost = OutageDark
+	}
 	return out
+}
+
+// accountOutages folds per-shard loss records into per-country Outage
+// entries (scan order) and the run's Coverage summary. It runs after
+// the pool drains, on the caller's goroutine, so the sink's
+// no-locking contract is untouched.
+func accountOutages(shards []*shard, countries []geo.CountryCode) ([]Outage, Coverage) {
+	type tally struct {
+		total, lost, tasks int
+		byReason           [OutageDark + 1]int
+	}
+	tallies := make([]tally, len(countries))
+	requested := make([]bool, len(countries))
+	for _, sh := range shards {
+		t := &tallies[sh.group]
+		t.total++
+		requested[sh.group] = true
+		if sh.lost != OutageNone {
+			t.lost++
+			t.tasks += len(sh.tasks)
+			t.byReason[sh.lost]++
+		}
+	}
+
+	var outages []Outage
+	var cov Coverage
+	for g, t := range tallies {
+		if !requested[g] {
+			continue
+		}
+		cov.Requested++
+		if t.lost == 0 {
+			cov.Attained++
+			continue
+		}
+		reason := OutageNoExits
+		for r := OutageNoExits; r <= OutageDark; r++ {
+			if t.byReason[r] > t.byReason[reason] {
+				reason = r
+			}
+		}
+		outages = append(outages, Outage{
+			Country:     countries[g],
+			Reason:      reason,
+			Shards:      t.lost,
+			ShardsTotal: t.total,
+			Tasks:       t.tasks,
+		})
+		cov.TasksLost += t.tasks
+		if t.lost == t.total {
+			cov.Lost = append(cov.Lost, countries[g])
+		} else {
+			cov.Attained++
+		}
+	}
+	return outages, cov
 }

@@ -91,6 +91,76 @@ type Sample struct {
 // OK reports whether the sample carries an HTTP response.
 func (s *Sample) OK() bool { return s.Err == ErrNone }
 
+// OutageReason classifies why a country (or part of one) produced no
+// measurements.
+type OutageReason uint8
+
+const (
+	// OutageNone: no outage.
+	OutageNone OutageReason = iota
+	// OutageNoExits: the country has no exit inventory at all.
+	OutageNoExits
+	// OutageBrownout: the superproxy never accepted a session, even
+	// under open-retry backoff.
+	OutageBrownout
+	// OutageDark: exits exist but none ever answered — the session
+	// circuit breaker wrote the country off.
+	OutageDark
+)
+
+func (r OutageReason) String() string {
+	switch r {
+	case OutageNone:
+		return "none"
+	case OutageNoExits:
+		return "no-exits"
+	case OutageBrownout:
+		return "brownout"
+	case OutageDark:
+		return "dark"
+	}
+	return "unknown"
+}
+
+// Outage is the typed per-country degradation record: instead of
+// poisoning downstream table math with sentinel values, a scan that
+// exhausts a country's exits reports exactly what was lost. Samples for
+// the lost tasks are still emitted (as ErrNoExits), so sample streams
+// stay rectangular; the Outage is the accounting on top.
+type Outage struct {
+	Country geo.CountryCode
+	// Reason is the dominant failure mode across the country's lost
+	// shards.
+	Reason OutageReason
+	// Shards lost vs scheduled for the country.
+	Shards, ShardsTotal int
+	// Tasks in the lost shards.
+	Tasks int
+}
+
+// Full reports whether every shard of the country was lost — the
+// country contributed no measurements at all.
+func (o Outage) Full() bool { return o.Shards == o.ShardsTotal }
+
+// Coverage summarizes attained vs requested coverage — the headline
+// the CLIs print so a degraded run is visible instead of silently
+// thin.
+type Coverage struct {
+	// Requested is the number of countries the scan asked for (with at
+	// least one task).
+	Requested int
+	// Attained is the number of countries that produced measurements
+	// from at least one live shard.
+	Attained int
+	// Lost lists the fully lost countries, in scan order.
+	Lost []geo.CountryCode
+	// TasksLost counts tasks in outage-hit shards across all countries.
+	TasksLost int
+}
+
+// Full reports whether every requested country was attained.
+func (c Coverage) Full() bool { return c.Attained == c.Requested }
+
 // Task is one (domain, country) pair to measure.
 type Task struct {
 	Domain  int32
@@ -197,6 +267,11 @@ type Result struct {
 	Domains   []string
 	Countries []geo.CountryCode
 	Samples   []Sample
+	// Outages lists countries that lost shards to dead exits, dark
+	// inventories, or superproxy brownouts, in scan order.
+	Outages []Outage
+	// Coverage is the attained-vs-requested summary for the run.
+	Coverage Coverage
 }
 
 // ExitLoad summarizes how many requests each exit machine served — the

@@ -18,7 +18,8 @@ type shard struct {
 	index int    // chunk index within the group
 	slot  uint64 // sticky-session slot, a pure function of (group, phase, index)
 	tasks []Task
-	out   []Sample // filled by the runner, released after emission
+	out   []Sample     // filled by the runner, released after emission
+	lost  OutageReason // set by the runner when the shard's tasks were lost
 }
 
 // buildShards chunks each group's tasks. Boundaries depend only on the

@@ -1,8 +1,13 @@
 // The session layer: sticky proxy-session acquisition, the
-// connectivity pre-check loop, and per-exit budget rotation.
+// connectivity pre-check loop, per-exit budget rotation, and the
+// circuit breaker that keeps a dark country from eating the retry
+// budget of every sample in a shard.
 package scanner
 
 import (
+	"errors"
+	"time"
+
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
 )
@@ -25,6 +30,30 @@ type RetryPolicy struct {
 	VerifyProbes int
 	// VerifyConnectivity enables the platform echo check.
 	VerifyConnectivity bool
+	// BreakerSweeps is the circuit-breaker threshold: how many
+	// consecutive all-fail connectivity sweeps (with no success ever)
+	// mark the country dead for the shard. Zero takes
+	// DefaultBreakerSweeps.
+	BreakerSweeps int
+	// OpenRetries bounds session-open attempts against a browned-out
+	// superproxy. Zero takes DefaultOpenRetries.
+	OpenRetries int
+	// Sleep, when non-nil, receives each backoff wait. Nil keeps time
+	// virtual: the backoff schedule is computed but nothing blocks.
+	Sleep func(time.Duration)
+}
+
+func (pol RetryPolicy) withDefaults() RetryPolicy {
+	if pol.VerifyProbes <= 0 {
+		pol.VerifyProbes = DefaultVerifyProbes
+	}
+	if pol.BreakerSweeps <= 0 {
+		pol.BreakerSweeps = DefaultBreakerSweeps
+	}
+	if pol.OpenRetries <= 0 {
+		pol.OpenRetries = DefaultOpenRetries
+	}
+	return pol
 }
 
 // session wraps a sticky proxy.Session with the policy-driven
@@ -33,40 +62,74 @@ type RetryPolicy struct {
 type session struct {
 	s   *proxy.Session
 	pol RetryPolicy
+	h   health
 }
 
 // openSession acquires a sticky session for cc starting at the
-// deterministic slot.
+// deterministic slot. Superproxy brownouts are retried under
+// decorrelated-jitter backoff (they clear); every other failure —
+// ErrNoExits above all — is final.
 func openSession(net *proxy.Network, cc geo.CountryCode, slot uint64, pol RetryPolicy) (*session, error) {
-	if pol.VerifyProbes <= 0 {
-		pol.VerifyProbes = DefaultVerifyProbes
+	pol = pol.withDefaults()
+	bo := newBackoff(slot, pol.Sleep)
+	var lastErr error
+	for attempt := 0; attempt <= pol.OpenRetries; attempt++ {
+		s, err := net.NewSessionAttempt(cc, slot, attempt)
+		if err == nil {
+			return &session{s: s, pol: pol}, nil
+		}
+		lastErr = err
+		var brown *proxy.ErrBrownout
+		if !errors.As(err, &brown) {
+			return nil, err
+		}
+		if attempt < pol.OpenRetries {
+			bo.wait()
+		}
 	}
-	s, err := net.NewSession(cc, slot)
-	if err != nil {
-		return nil, err
-	}
-	return &session{s: s, pol: pol}, nil
+	return nil, lastErr
 }
 
 // ready prepares the current exit for one attempt: rotates when the
 // per-exit budget is spent, then runs the connectivity pre-check on
-// whatever fresh exit the session lands on.
-func (se *session) ready(seed uint64) {
+// whatever fresh exit the session lands on. It reports false once the
+// circuit breaker has concluded the country is dark — the verdict is
+// cached for the shard, so a dead country costs BreakerSweeps sweeps
+// total instead of a full probe loop per attempt.
+func (se *session) ready(seed uint64) bool {
+	if se.h.dead {
+		return false
+	}
 	if se.s.Used() >= se.pol.RequestsPerExit {
 		se.s.Rotate()
 	}
 	if se.pol.VerifyConnectivity && se.s.Used() == 0 {
-		for probe := 0; probe < se.pol.VerifyProbes; probe++ {
+		probes := se.pol.VerifyProbes
+		if n := se.s.InventorySize(); n < probes {
+			probes = n // extra probes would only revisit exits already seen
+		}
+		found := false
+		for probe := 0; probe < probes; probe++ {
 			if _, _, err := se.s.Verify(seed + uint64(probe)); err == nil {
+				found = true
 				break
 			}
 			se.s.Rotate()
 		}
+		if found {
+			se.h.success()
+		} else if se.h.failedSweep(se.pol.BreakerSweeps) {
+			return false
+		}
 	}
+	return true
 }
 
 // rotate abandons the current exit (after a failed attempt).
 func (se *session) rotate() { se.s.Rotate() }
+
+// dark reports whether the circuit breaker wrote the country off.
+func (se *session) dark() bool { return se.h.dead }
 
 // exitIP is the address of the exit the next attempt will use.
 func (se *session) exitIP() geo.IP { return se.s.Exit().IP }
@@ -77,14 +140,18 @@ func (se *session) transport() *proxy.Session { return se.s }
 // fetchReliable performs one logical sample under the policy: up to
 // 1+Retries attempts, rotating the exit between attempts and whenever
 // the per-exit budget is spent. Luminati refusals are terminal — the
-// platform's answer will not change with another exit.
+// platform's answer will not change with another exit. A tripped
+// circuit breaker short-circuits the whole sample to ErrNoExits.
 func fetchReliable(f *fetcher, se *session, domain string, seed uint64, t Task, attempt uint8) Sample {
 	var last Sample
 	for try := 0; try <= se.pol.Retries; try++ {
-		se.ready(seed)
+		if !se.ready(seed) {
+			return Sample{Domain: t.Domain, Country: t.Country, Attempt: attempt, Err: ErrNoExits}
+		}
 		trySeed := seed + uint64(try)*0x9e3779b97f4a7c15
 		last = f.fetch(domain, trySeed, t, attempt, se.exitIP())
 		if last.Err == ErrNone || last.Err == ErrLuminati {
+			se.h.success()
 			return last
 		}
 		se.rotate()

@@ -20,22 +20,59 @@ type SinkFunc func(Sample)
 // Emit calls f(s).
 func (f SinkFunc) Emit(s Sample) { f(s) }
 
+// OutageSink is the optional degradation channel: a Sink that also
+// implements it receives the per-country Outage records and the final
+// Coverage summary after the last sample, still on the engine's single
+// delivery goroutine (outages in scan order, coverage last). Sinks
+// that don't implement it simply see the ErrNoExits samples.
+type OutageSink interface {
+	Sink
+	EmitOutage(o Outage)
+	EmitCoverage(c Coverage)
+}
+
 // Collect is the materializing sink: it reproduces the classic
-// in-memory sample slice, in canonical order.
+// in-memory sample slice, in canonical order, plus the outage and
+// coverage accounting.
 type Collect struct {
-	Samples []Sample
+	Samples  []Sample
+	Outages  []Outage
+	Coverage Coverage
 }
 
 // Emit appends s.
 func (c *Collect) Emit(s Sample) { c.Samples = append(c.Samples, s) }
 
+// EmitOutage appends o.
+func (c *Collect) EmitOutage(o Outage) { c.Outages = append(c.Outages, o) }
+
+// EmitCoverage records the run's coverage summary.
+func (c *Collect) EmitCoverage(cov Coverage) { c.Coverage = cov }
+
 // DropBodies wraps a sink, clearing each sample's body before
 // delivery — for consumers that only fold statuses and lengths but
 // want to keep a Config whose KeepBody drives classification
-// elsewhere.
+// elsewhere. Outage and coverage records pass through when the wrapped
+// sink accepts them.
 func DropBodies(next Sink) Sink {
-	return SinkFunc(func(s Sample) {
-		s.Body = ""
-		next.Emit(s)
-	})
+	return dropBodies{next: next}
+}
+
+type dropBodies struct{ next Sink }
+
+func (d dropBodies) Emit(s Sample) {
+	s.Body = ""
+	d.next.Emit(s)
+}
+
+func (d dropBodies) EmitOutage(o Outage) {
+	if os, ok := d.next.(OutageSink); ok {
+		os.EmitOutage(o)
+	}
+}
+
+func (d dropBodies) EmitCoverage(c Coverage) {
+	if os, ok := d.next.(OutageSink); ok {
+		os.EmitCoverage(c)
+	}
 }
