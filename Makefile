@@ -1,21 +1,32 @@
 # Development gate for the geoblock reproduction.
 #
-#   make check   build + vet + full test suite (the tier-1 gate)
+#   make check   the tier-1 gate, in order: build → vet → geolint → test.
+#                geolint (cmd/geolint, built from internal/lint) machine-
+#                checks the determinism, context-flow, and outcome-handling
+#                invariants the engine's byte-identical contract rests on;
+#                it runs after vet so type errors surface with the compiler's
+#                messages first, and before the test suite so an invariant
+#                violation fails in seconds, not after a full chaos run.
+#   make lint    just the geolint pass.
 #   make race    race-detector pass over every package (the chaos and
 #                scheduler suites exercise the concurrent scan path)
-#   make cover   coverage with ratcheted floors for the scan engine and
-#                the fault-injection layer
+#   make cover   coverage with ratcheted floors for the scan engine, the
+#                fault-injection layer, and the lint suite
 #   make bench   the scan engine benchmarks (collect vs streaming,
 #                sharded vs one-worker-per-country)
 
 GO ?= go
 
-.PHONY: check race cover bench
+.PHONY: check lint race cover bench
 
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/geolint ./...
 	$(GO) test ./...
+
+lint:
+	$(GO) run ./cmd/geolint ./...
 
 race:
 	$(GO) test -race ./...
@@ -32,7 +43,8 @@ cover:
 	    || { echo "FAIL: coverage for $$1 fell below the ratcheted floor of $$2%"; exit 1; }; \
 	}; \
 	check ./internal/scanner 85; \
-	check ./internal/faults 88
+	check ./internal/faults 88; \
+	check ./internal/lint 87
 
 bench:
 	$(GO) test . -run xxx -bench 'BenchmarkScan(Collect|Streaming|SkewedSharded)' -benchtime 3x

@@ -809,7 +809,7 @@ type simRTT struct {
 }
 
 func (t simRTT) RoundTrip(req *http.Request) (*http.Response, error) {
-	time.Sleep(t.delay)
+	time.Sleep(t.delay) //geolint:allow determinism benchmarking wall time
 	return t.rt.RoundTrip(req)
 }
 
@@ -829,12 +829,12 @@ func BenchmarkScanSkewedSharded(b *testing.B) {
 		cfg.WrapTransport = func(rt http.RoundTripper) http.RoundTripper {
 			return simRTT{rt: rt, delay: 200 * time.Microsecond}
 		}
-		start := time.Now()
+		start := time.Now() //geolint:allow determinism benchmarking wall time
 		res := lumscan.Scan(net, domains, countries, tasks, cfg)
 		if len(res.Samples) == 0 {
 			b.Fatal("empty scan")
 		}
-		return time.Since(start)
+		return time.Since(start) //geolint:allow determinism benchmarking wall time
 	}
 	run(0) // warm the world's lazy caches off the clock
 	var sharded, monolithic time.Duration

@@ -1,0 +1,54 @@
+// Command geolint runs the geoblock static-analysis suite over the
+// module: the machine check for the invariants the scan engine's
+// determinism and degradation contracts rest on (no wall clock or
+// global RNG in the scan path, no map-ordered output, contexts threaded
+// end to end, every Outage and scan error handled, no stray
+// goroutines). It is a tier-1 gate: `make check` runs it between `go
+// vet` and the tests.
+//
+//	geolint ./...          # everything (the default)
+//	geolint -list          # describe the analyzers
+//
+// Exact-line escapes use `//geolint:allow <analyzer> <reason>`; see
+// internal/lint for the rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geoblock/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geolint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Check(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "geolint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

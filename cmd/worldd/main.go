@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"time"
 
 	"geoblock"
 	"geoblock/internal/blockpage"
 	"geoblock/internal/vnet"
+	"geoblock/internal/worldgen"
 )
 
 func main() {
@@ -42,7 +44,13 @@ func main() {
 				continue
 			}
 			fmt.Fprintf(w, "%s\tproviders=%v", d.Name, d.Providers)
-			for p, rule := range d.GeoRules {
+			ruled := make([]string, 0, len(d.GeoRules))
+			for p := range d.GeoRules {
+				ruled = append(ruled, string(p))
+			}
+			sort.Strings(ruled)
+			for _, p := range ruled {
+				rule := d.GeoRules[worldgen.Provider(p)]
 				fmt.Fprintf(w, "\t%s:%s=%v", p, rule.Action, rule.CountryList())
 			}
 			if d.GAEHosted {

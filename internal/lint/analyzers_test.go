@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"testing"
+
+	"geoblock/internal/lint"
+	"geoblock/internal/lint/linttest"
+)
+
+// Each analyzer runs over fixture packages under testdata/src whose
+// // want comments pin both its positives and its negatives. These are
+// also the seeded violations of the acceptance criteria: a regression
+// that stops an analyzer firing breaks an expectation here.
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Determinism,
+		"geoblock/internal/pipeline/dfix",
+		// Out of scope: the wall clock is legal off the scan path.
+		"geoblock/internal/cdnid/dfix")
+}
+
+func TestMapsort(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Mapsort,
+		"geoblock/internal/papertables/msfix")
+}
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Ctxflow,
+		"geoblock/internal/scanner/cfix")
+}
+
+func TestOutcomecheck(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Outcomecheck,
+		"geoblock/internal/pipeline/ocfix")
+}
+
+func TestNakedgo(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Nakedgo,
+		"geoblock/internal/scanner/ngfix")
+}

@@ -1,0 +1,162 @@
+// The ctxflow analyzer: contexts thread end to end through the scan
+// path. PR 1's cancellation work made every scan entrypoint take a
+// context and every study phase respect it; that only stays true if (a)
+// no new exported I/O surface appears without a context parameter, and
+// (b) nobody severs an incoming context by minting context.Background()
+// mid-flow — the bug class where a Ctrl-C drains the CLI but a scan
+// keeps burning through the proxy mesh underneath it.
+//
+// Functions receive an incoming context three ways here: an explicit
+// context.Context parameter, an *http.Request (which carries one), or a
+// receiver struct with a context field (pipeline.Study.Ctx). The
+// nil-default accessor idiom — a method returning context.Context that
+// falls back to Background when the field is unset — is the one
+// sanctioned minting site. Test files are exempt: tests are the scan's
+// drivers and legitimately create root contexts.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces context threading through the scan path's I/O.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported I/O must accept a context.Context, and an incoming context must never be severed by context.Background()/TODO()",
+	Match: scope(
+		"geoblock/internal/scanner/...",
+		"geoblock/internal/proxy/...",
+		"geoblock/internal/pipeline/...",
+	),
+	Run: runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isTestFile(p.Fset, fn.Pos()) {
+				continue
+			}
+			incoming := hasIncomingCtx(p.Info, fn)
+			if incoming {
+				if !isCtxAccessor(p.Info, fn) {
+					reportSevering(p, fn.Body)
+				}
+			} else if fn.Name.IsExported() && performsIO(p.Info, fn.Body) {
+				p.Reportf(fn.Name.Pos(), "exported %s performs I/O but accepts no context.Context; thread a ctx parameter through so callers can cancel it", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// hasIncomingCtx reports whether fn is handed a context: a
+// context.Context or *http.Request parameter, or a receiver whose
+// struct type carries a context.Context field.
+func hasIncomingCtx(info *types.Info, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if isNamedType(t, "context", "Context") || isNamedType(t, "net/http", "Request") {
+			return true
+		}
+	}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			t := info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if isNamedType(st.Field(i).Type(), "context", "Context") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isCtxAccessor recognizes the nil-default accessor: a function whose
+// single result is context.Context. Such a function's whole job is to
+// produce a context (falling back to Background when no caller supplied
+// one), so minting inside it is the sanctioned pattern rather than a
+// severing.
+func isCtxAccessor(info *types.Info, fn *ast.FuncDecl) bool {
+	res := fn.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 1 {
+		return false
+	}
+	return isNamedType(info.TypeOf(res.List[0].Type), "context", "Context")
+}
+
+// reportSevering flags context.Background()/TODO() calls in a body that
+// already has an incoming context (closures included — they capture it).
+func reportSevering(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(p.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			p.Reportf(call.Pos(), "context.%s() severs the incoming context: cancellation stops propagating here; pass the caller's ctx through instead", fn.Name())
+		}
+		return true
+	})
+}
+
+// performsIO reports whether body does work that should be
+// cancellable: calling anything that itself wants a leading
+// context.Context, doing an HTTP round trip, or minting a context to
+// feed such a call.
+func performsIO(info *types.Info, body *ast.BlockStmt) bool {
+	io := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if io {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(info, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			io = true
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		if sig.Params().Len() > 0 && isNamedType(sig.Params().At(0).Type(), "context", "Context") {
+			io = true
+			return false
+		}
+		// HTTP round trips acquire their context from the request; the
+		// function still owes its caller a way to build that request
+		// with one.
+		if recv := sig.Recv(); recv != nil && isNamedType(recv.Type(), "net/http", "Client") {
+			switch fn.Name() {
+			case "Do", "Get", "Post", "PostForm", "Head":
+				io = true
+				return false
+			}
+		}
+		return true
+	})
+	return io
+}

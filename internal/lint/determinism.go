@@ -1,0 +1,83 @@
+// The determinism analyzer: no wall clock, no global RNG in the scan
+// path. The engine's headline contract — byte-identical output at any
+// concurrency, under any fault profile — holds because every sample is
+// a pure function of (domain, country, phase, attempt, shard slot).
+// One time.Now or math/rand call anywhere under the scan path breaks
+// that purity invisibly: results still look plausible, they just stop
+// being reproducible. This analyzer is the machine check backstopping
+// the chaos matrix's byte-identical assertions.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismScope is the scan path: every package whose output feeds
+// the byte-identical contract, plus the root facade and the CLIs built
+// on it. bench_test.go measures wall time on purpose and carries
+// exact-line suppressions.
+var determinismScope = scope(
+	"geoblock",
+	"geoblock/cmd/...",
+	"geoblock/internal/scanner/...",
+	"geoblock/internal/pipeline/...",
+	"geoblock/internal/papertables/...",
+	"geoblock/internal/faults/...",
+	"geoblock/internal/worldgen/...",
+)
+
+// wallClockFuncs are the time package functions that read or wait on
+// the wall clock. time.Duration values and arithmetic stay legal — only
+// observing real time is forbidden.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+	"After": true,
+	"Tick":  true,
+}
+
+// randPackages are the global-RNG packages. Any import is a violation:
+// even a locally seeded rand.New(rand.NewSource(...)) hides its seed
+// from the replay key, and the argless rand.New seeding of math/rand/v2
+// draws from the global runtime source outright.
+var randPackages = map[string]string{
+	"math/rand":    "math/rand",
+	"math/rand/v2": "math/rand/v2",
+}
+
+// Determinism forbids wall-clock reads and global RNG in the scan path.
+var Determinism = &Analyzer{
+	Name:  "determinism",
+	Doc:   "forbid time.Now/Since/Sleep and math/rand in the scan path; use the virtual clock and internal/stats seeded RNG",
+	Match: determinismScope,
+	Run:   runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := imp.Path.Value
+			if len(path) >= 2 {
+				path = path[1 : len(path)-1]
+			}
+			if name, ok := randPackages[path]; ok {
+				p.Reportf(imp.Pos(), "import of %s: the scan path must draw randomness from the seeded internal/stats RNG (stats.NewRNG / RNG.Fork), or determinism breaks", name)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			p.Reportf(id.Pos(), "time.%s reads the wall clock: scan-path timing must come from the virtual clock (injected sleep/now functions) or an injected timestamp, or output stops being reproducible", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// Package lint is geolint: the static-analysis suite that machine-checks
+// the invariants the scan engine's determinism and degradation contracts
+// rest on. The engine promises byte-identical output at any concurrency
+// under any fault profile (DESIGN.md §6); that promise is carried by
+// conventions the compiler cannot see — no wall clock or global RNG in
+// the scan path, contexts threaded end to end, every scanner.Outage and
+// sink error handled, no stray goroutines. Each convention is encoded
+// here as an analyzer, so a violation fails `make check` instead of
+// waiting for a flaky chaos run or a reviewer's memory.
+//
+// The suite is a deliberately small, dependency-free sibling of
+// golang.org/x/tools/go/analysis: an Analyzer inspects one type-checked
+// package at a time and reports Diagnostics; the driver (cmd/geolint)
+// loads the module — test files included — and runs every analyzer whose
+// scope matches. Targeted escapes use exact-line suppression comments:
+//
+//	time.Sleep(d) //geolint:allow determinism benchmarking wall time
+//
+// A suppression names the analyzer it silences and must carry a reason;
+// a reasonless or unknown-analyzer directive is itself a diagnostic, and
+// a directive only covers its own line, so an allowance can never leak
+// to neighboring code.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over one type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //geolint:allow directives.
+	Name string
+	// Doc states the invariant the analyzer encodes.
+	Doc string
+	// Match reports whether the analyzer applies to a package. It is
+	// given the package's scope path (the import path with any test
+	// variant decoration stripped, so in-package test files are checked
+	// under the same scope as the code they test). Nil means every
+	// package.
+	Match func(pkgPath string) bool
+	// Run inspects one package, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass is one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's scope path (see Analyzer.Match).
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// All returns the full geolint suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Mapsort,
+		Ctxflow,
+		Outcomecheck,
+		Nakedgo,
+	}
+}
+
+// Check runs every matching analyzer over pkgs, applies //geolint:allow
+// suppressions, and returns the surviving diagnostics in file/line
+// order. Malformed suppression directives are returned as diagnostics
+// in their own right.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				diags:    &diags,
+			})
+		}
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows, malformed := collectAllows(pkgs, known)
+
+	kept := malformed
+	for _, d := range diags {
+		if allows.suppresses(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// scope builds a Match func from import-path patterns. A bare path
+// matches exactly; a trailing "/..." matches the path and everything
+// below it.
+func scope(patterns ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, pat := range patterns {
+			if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+				if pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/") {
+					return true
+				}
+			} else if pkgPath == pat {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// funcFor resolves the *types.Func a call expression invokes (through
+// package selectors, method values, and interface methods), or nil for
+// builtins, conversions, and indirect calls through variables.
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function of the named
+// package (methods do not count).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isNamedType reports whether t (after pointer stripping) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// errorIface is the universe error interface, for Implements checks.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// returnsError returns the result indices of fn's signature whose type
+// is the error interface (wrapped error types count too).
+func errorResults(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Implements(sig.Results().At(i).Type(), errorIface) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

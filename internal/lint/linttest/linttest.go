@@ -1,0 +1,228 @@
+// Package linttest runs geolint analyzers over small fixture packages,
+// in the manner of golang.org/x/tools/go/analysis/analysistest: fixture
+// sources live under testdata/src/<import-path>/ and carry expectations
+// as trailing comments,
+//
+//	rand.Int() // want "global math/rand"
+//
+// where each quoted string is a regexp that must match the message of a
+// diagnostic reported on that line. Run fails the test for any reported
+// diagnostic with no matching expectation and any expectation with no
+// matching diagnostic, so fixtures pin both the positives and the
+// negatives of an analyzer.
+//
+// Fixture packages may import each other (resolved fixture-first under
+// the same testdata/src root, so a fixture can stand in for, say,
+// geoblock/internal/scanner) and the standard library (resolved through
+// lint.NewStdImporter). Suppression directives are honored exactly as
+// in the real driver: Run routes everything through lint.Check.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"geoblock/internal/lint"
+)
+
+// state caches type-checked fixtures across tests in a binary: the
+// stdlib closure (fmt pulls in reflect) is checked once, not once per
+// analyzer test.
+var state = struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	std  *lint.StdImporter
+	pkgs map[string]*fixture // keyed by absolute fixture dir
+}{}
+
+type fixture struct {
+	pkg *lint.Package
+	err error
+}
+
+// Run loads each fixture package under root (normally "testdata/src"),
+// runs a over them via lint.Check — suppressions included — and
+// compares the surviving diagnostics against the fixtures' // want
+// expectations.
+func Run(t *testing.T, root string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs := Load(t, root, paths...)
+	check(t, pkgs, lint.Check(pkgs, []*lint.Analyzer{a}))
+}
+
+// Load loads fixture packages without running any analyzer, for tests
+// that drive lint.Check themselves (e.g. with the full suite).
+func Load(t *testing.T, root string, paths ...string) []*lint.Package {
+	t.Helper()
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	if state.fset == nil {
+		state.fset = token.NewFileSet()
+		state.std = lint.NewStdImporter(state.fset)
+		state.pkgs = map[string]*fixture{}
+	}
+	var pkgs []*lint.Package
+	for _, path := range paths {
+		fx := loadLocked(absRoot, path)
+		if fx.err != nil {
+			t.Fatalf("linttest: loading %s: %v", path, fx.err)
+		}
+		pkgs = append(pkgs, fx.pkg)
+	}
+	return pkgs
+}
+
+// loadLocked parses and type-checks the fixture package at root/path,
+// memoized. Imports resolve to sibling fixtures when a directory for
+// them exists under root, and to the standard library otherwise.
+func loadLocked(root, path string) *fixture {
+	dir := filepath.Join(root, path)
+	if fx, ok := state.pkgs[dir]; ok {
+		return fx
+	}
+	// Seed the cache before type-checking so an import cycle among
+	// fixtures surfaces as a load error, not infinite recursion.
+	fx := &fixture{err: fmt.Errorf("import cycle through %s", path)}
+	state.pkgs[dir] = fx
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fx.err = err
+		return fx
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(state.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fx.err = err
+			return fx
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		fx.err = fmt.Errorf("no Go files in %s", dir)
+		return fx
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := &types.Config{Importer: importerFunc(func(imp string) (*types.Package, error) {
+		if st, err := os.Stat(filepath.Join(root, imp)); err == nil && st.IsDir() {
+			sub := loadLocked(root, imp)
+			if sub.err != nil {
+				return nil, sub.err
+			}
+			return sub.pkg.Types, nil
+		}
+		return state.std.Import(imp)
+	})}
+	tp, err := cfg.Check(path, state.fset, files, info)
+	if err != nil {
+		fx.err = err
+		return fx
+	}
+	*fx = fixture{pkg: &lint.Package{
+		Path:       path,
+		ImportPath: path,
+		Fset:       state.fset,
+		Files:      files,
+		Types:      tp,
+		Info:       info,
+	}}
+	return fx
+}
+
+// expectation is one quoted regexp of a // want comment.
+type expectation struct {
+	re      *regexp.Regexp
+	pos     token.Position
+	matched bool
+}
+
+var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// check matches diagnostics against the // want comments of pkgs.
+func check(t *testing.T, pkgs []*lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line"
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, q := range quoted.FindAllString(text, -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, pos: pos})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched %q", w.pos, w.re)
+			}
+		}
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,296 @@
+// The loader: stdlib-only package loading and type checking for the
+// whole module, test files included. One `go list -test -deps -json`
+// invocation enumerates every package (and its transitive standard
+// library closure) with module-aware file lists; the loader then parses
+// and type-checks bottom-up with go/types, feeding imports from the
+// packages it has already checked. Nothing here talks to the network or
+// needs golang.org/x/tools — the go toolchain the repo already builds
+// with is the only dependency.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked analysis target.
+type Package struct {
+	// Path is the scope path analyzers match against: the import path
+	// with go list's test-variant decoration stripped, so the files of
+	// "geoblock [geoblock.test]" and "geoblock_test [geoblock.test]"
+	// are both checked under the scope "geoblock".
+	Path string
+	// ImportPath is go list's undoctored identifier.
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	ForTest    string
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load enumerates patterns (default "./...") relative to dir and
+// returns the module's packages, type-checked with full syntax and
+// type information. In-package and external test files are included:
+// go list's test-augmented variants replace the plain package so test
+// code faces the same invariants as the code it exercises.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-test", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// A pure-Go view of the tree: cgo files would need a C toolchain to
+	// even enumerate, and nothing in the scan path may depend on them.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	byPath := map[string]*listPkg{}
+	var order []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		byPath[p.ImportPath] = p
+		order = append(order, p)
+	}
+
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		byPath: byPath,
+		typed:  map[string]*types.Package{"unsafe": types.Unsafe},
+		info:   map[string]*pkgSyntax{},
+	}
+
+	// Which plain packages are superseded by a test-augmented variant
+	// ("P [P.test]" carries P's GoFiles plus its in-package test files)?
+	augmented := map[string]bool{}
+	for _, p := range order {
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" [") {
+			augmented[p.ForTest] = true
+		}
+	}
+
+	var pkgs []*Package
+	var loadErrs []error
+	seen := map[string]bool{}
+	for _, p := range order {
+		if seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		switch {
+		case p.Standard,
+			strings.HasSuffix(p.ImportPath, ".test"), // synthetic test main
+			p.ForTest == "" && augmented[p.ImportPath]:
+			continue
+		}
+		if p.Error != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err))
+			continue
+		}
+		tp, err := ld.check(p)
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("lint: %s: %w", p.ImportPath, err))
+			continue
+		}
+		syn := ld.info[p.ImportPath]
+		pkgs = append(pkgs, &Package{
+			Path:       scopePath(p),
+			ImportPath: p.ImportPath,
+			Fset:       ld.fset,
+			Files:      syn.files,
+			Types:      tp,
+			Info:       syn.info,
+		})
+	}
+	return pkgs, errors.Join(loadErrs...)
+}
+
+// scopePath strips test-variant decoration: the scope of both
+// "P [P.test]" and "P_test [P.test]" is P.
+func scopePath(p *listPkg) string {
+	if p.ForTest != "" {
+		return p.ForTest
+	}
+	return p.ImportPath
+}
+
+// pkgSyntax keeps the syntax and type info of a checked module package.
+type pkgSyntax struct {
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks packages on demand, memoizing results. Standard
+// library packages are checked with IgnoreFuncBodies (their exported
+// signatures are all analyzers need); module packages keep full bodies,
+// comments, and types.Info.
+type loader struct {
+	fset   *token.FileSet
+	byPath map[string]*listPkg
+	typed  map[string]*types.Package
+	info   map[string]*pkgSyntax
+}
+
+func (ld *loader) check(p *listPkg) (*types.Package, error) {
+	if tp, ok := ld.typed[p.ImportPath]; ok {
+		return tp, nil
+	}
+
+	mode := parser.ParseComments | parser.SkipObjectResolution
+	if p.Standard {
+		mode = parser.SkipObjectResolution
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		af, err := parser.ParseFile(ld.fset, filepath.Join(p.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+
+	cfg := &types.Config{
+		Importer:         importerFunc(func(path string) (*types.Package, error) { return ld.importPath(p, path) }),
+		IgnoreFuncBodies: p.Standard,
+	}
+	var firstErr error
+	cfg.Error = func(err error) {
+		// The standard library may use compiler intrinsics go/types
+		// cannot fully check without bodies; only module packages must
+		// check cleanly (and `go build`, which gates before geolint,
+		// guarantees they do).
+		if !p.Standard && firstErr == nil {
+			firstErr = err
+		}
+	}
+	var info *types.Info
+	if !p.Standard {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+	}
+	tp, err := cfg.Check(p.ImportPath, ld.fset, files, info)
+	if !p.Standard && firstErr != nil {
+		return nil, firstErr
+	}
+	if tp == nil && err != nil && !p.Standard {
+		return nil, err
+	}
+	ld.typed[p.ImportPath] = tp
+	if !p.Standard {
+		ld.info[p.ImportPath] = &pkgSyntax{files: files, info: info}
+	}
+	return tp, nil
+}
+
+// importPath resolves an import seen in from's files: through the
+// package's ImportMap first (which routes test imports to augmented
+// variants), then to the package listing.
+func (ld *loader) importPath(from *listPkg, path string) (*types.Package, error) {
+	if mapped, ok := from.ImportMap[path]; ok {
+		path = mapped
+	}
+	if tp, ok := ld.typed[path]; ok {
+		return tp, nil
+	}
+	p, ok := ld.byPath[path]
+	if !ok {
+		return nil, fmt.Errorf("import %q not in go list output", path)
+	}
+	return ld.check(p)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// A StdImporter resolves standard-library imports (signatures only),
+// fetching `go list` metadata on demand. The fixture loader in linttest
+// uses it so analyzer fixtures can import time, fmt, or sync without a
+// module load; fixture-local packages are resolved by the caller before
+// falling back here.
+type StdImporter struct {
+	ld *loader
+}
+
+// NewStdImporter returns a StdImporter sharing fset's positions.
+func NewStdImporter(fset *token.FileSet) *StdImporter {
+	return &StdImporter{ld: &loader{
+		fset:   fset,
+		byPath: map[string]*listPkg{},
+		typed:  map[string]*types.Package{"unsafe": types.Unsafe},
+		info:   map[string]*pkgSyntax{},
+	}}
+}
+
+// Import type-checks path and its dependency closure.
+func (si *StdImporter) Import(path string) (*types.Package, error) {
+	if tp, ok := si.ld.typed[path]; ok {
+		return tp, nil
+	}
+	if _, ok := si.ld.byPath[path]; !ok {
+		cmd := exec.Command("go", "list", "-deps", "-json", path)
+		cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("lint: go list %s: %w\n%s", path, err, errb.String())
+		}
+		dec := json.NewDecoder(&out)
+		for {
+			p := new(listPkg)
+			if err := dec.Decode(p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+			}
+			if _, ok := si.ld.byPath[p.ImportPath]; !ok {
+				si.ld.byPath[p.ImportPath] = p
+			}
+		}
+	}
+	p, ok := si.ld.byPath[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown package %q", path)
+	}
+	return si.ld.check(p)
+}

@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"geoblock/internal/lint"
+)
+
+// TestSuiteSelfClean runs the full suite over the whole module, test
+// files included — the same invocation as `make lint` — and requires it
+// to come back empty. Any new wall-clock call, unsorted map emission,
+// severed context, dropped outcome, or naked goroutine anywhere in the
+// tree fails this test (the documented bench_test.go wall-time
+// suppressions are the only sanctioned escapes).
+func TestSuiteSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, d := range lint.Check(pkgs, lint.All()) {
+		t.Errorf("%s", d)
+	}
+}

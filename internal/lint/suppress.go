@@ -1,0 +1,84 @@
+// Suppression directives: exact-line, reason-required escapes from the
+// suite. The shape is deliberately rigid — a directive names exactly one
+// analyzer, must justify itself, and covers only its own source line —
+// so the allowlist stays greppable and can never silently widen.
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full form is
+//
+//	//geolint:allow <analyzer> <reason...>
+//
+// placed on the same line as the diagnostic it silences.
+const directivePrefix = "//geolint:allow"
+
+// lineKey addresses one source line of one file.
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowSet indexes well-formed directives by (file, line, analyzer).
+type allowSet map[lineKey]map[string]bool
+
+func (s allowSet) suppresses(d Diagnostic) bool {
+	return s[lineKey{d.Pos.Filename, d.Pos.Line}][d.Analyzer]
+}
+
+// collectAllows scans every comment of every package for suppression
+// directives. Well-formed ones land in the returned allowSet; malformed
+// ones — a missing reason, or an analyzer name the suite doesn't know —
+// come back as diagnostics so a bad escape hatch fails the build
+// instead of silently allowing nothing (or worse, something else).
+func collectAllows(pkgs []*Package, known map[string]bool) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					bad := func(format string, args ...any) {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "geolint",
+							Pos:      pos,
+							Message:  fmt.Sprintf(format, args...),
+						})
+					}
+					rest := c.Text[len(directivePrefix):]
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						// e.g. //geolint:allowance — not ours.
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						bad("suppression names no analyzer: want %s <analyzer> <reason>", directivePrefix)
+						continue
+					}
+					name := fields[0]
+					if !known[name] {
+						bad("suppression names unknown analyzer %q", name)
+						continue
+					}
+					if len(fields) < 2 {
+						bad("suppression of %s gives no reason: want %s %s <reason>", name, directivePrefix, name)
+						continue
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					if allows[key] == nil {
+						allows[key] = map[string]bool{}
+					}
+					allows[key][name] = true
+				}
+			}
+		}
+	}
+	return allows, malformed
+}

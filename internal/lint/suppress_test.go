@@ -1,0 +1,82 @@
+package lint_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"geoblock/internal/lint"
+	"geoblock/internal/lint/linttest"
+)
+
+// TestSuppressions pins the directive semantics against the supfix
+// fixture: a well-formed //geolint:allow silences exactly its own line,
+// a reasonless or unknown-analyzer directive is itself a diagnostic
+// (and silences nothing), and a directive on a neighboring line never
+// leaks. The fixture carries no // want comments — a directive under
+// test would swallow them — so expectations are anchored to each case's
+// `func` line instead.
+func TestSuppressions(t *testing.T) {
+	const fixture = "testdata/src/geoblock/internal/pipeline/supfix/supfix.go"
+	src, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(src), "\n")
+	lineOf := func(sub string) int {
+		for i, l := range lines {
+			if strings.Contains(l, sub) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture has no line containing %q", sub)
+		return 0
+	}
+	// The violation in every case sits on the line after the func decl.
+	violation := func(fn string) int { return lineOf("func "+fn) + 1 }
+
+	type want struct {
+		analyzer string
+		line     int
+		msg      string // substring of the expected message
+	}
+	wants := []want{
+		{"determinism", violation("bare"), "wall clock"},
+		// allowed(): fully suppressed, so no entry.
+		{"determinism", violation("reasonless"), "wall clock"},
+		{"geolint", violation("reasonless"), "gives no reason"},
+		{"determinism", violation("wrongAnalyzer"), "wall clock"},
+		{"determinism", violation("unknownAnalyzer"), "wall clock"},
+		{"geolint", violation("unknownAnalyzer"), "unknown analyzer"},
+		// leak(): the directive on the line above must not reach this one.
+		{"determinism", violation("leak"), "wall clock"},
+	}
+
+	pkgs := linttest.Load(t, "testdata/src", "geoblock/internal/pipeline/supfix")
+	diags := lint.Check(pkgs, lint.All())
+
+	unmatched := append([]want(nil), wants...)
+	for _, d := range diags {
+		found := false
+		for i, w := range unmatched {
+			if w.analyzer == d.Analyzer && w.line == d.Pos.Line && strings.Contains(d.Message, w.msg) {
+				unmatched = append(unmatched[:i], unmatched[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range unmatched {
+		t.Errorf("missing diagnostic: %s at line %d matching %q", w.analyzer, w.line, w.msg)
+	}
+	if t.Failed() {
+		var all []string
+		for _, d := range diags {
+			all = append(all, d.String())
+		}
+		t.Logf("all diagnostics:\n%s", strings.Join(all, "\n"))
+	}
+}

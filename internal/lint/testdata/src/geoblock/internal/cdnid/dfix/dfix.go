@@ -1,0 +1,7 @@
+// Fixture: outside the determinism scope (internal/cdnid is not on the
+// scan path), so the wall clock is legal and nothing may be reported.
+package dfix
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

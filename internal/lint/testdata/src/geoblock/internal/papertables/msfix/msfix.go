@@ -1,0 +1,83 @@
+// Fixture: the mapsort analyzer. Map iteration order must not escape
+// into writers, sinks, or output slices; order-independent folds and
+// the collect-then-sort idiom stay legal.
+package msfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Writing a table row per map entry emits in map order.
+func printRates(w io.Writer, rates map[string]float64) {
+	for cc, r := range rates {
+		fmt.Fprintf(w, "%s %.2f\n", cc, r) // want "Fprintf .writes to an io.Writer. inside range over a map"
+	}
+}
+
+// Building a string via a writer method is the same leak.
+func joined(m map[string]int) string {
+	b := new(strings.Builder)
+	for k := range m {
+		b.WriteString(k) // want "WriteString .writes to an io.Writer. inside range over a map"
+	}
+	return b.String()
+}
+
+// sink mimics the engine's streaming Emit vocabulary.
+type sink struct{}
+
+func (sink) Emit(s string) error { return nil }
+
+// Emitting per entry delivers samples in map order.
+func drain(s sink, m map[string]bool) error {
+	for k := range m {
+		if err := s.Emit(k); err != nil { // want "Emit inside range over a map emits in map iteration order"
+			return err
+		}
+	}
+	return nil
+}
+
+// Appending to an outer slice freezes map order into element order.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appends to out in map iteration order"
+	}
+	return out
+}
+
+// Collect-then-sort is the sanctioned fix.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Order-independent folds are legal.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// A loop-local accumulator's order dies with the iteration.
+func widest(m map[string][]int) int {
+	widest := 0
+	for _, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		if len(acc) > widest {
+			widest = len(acc)
+		}
+	}
+	return widest
+}

@@ -1,0 +1,25 @@
+// Fixture: the determinism analyzer's positive and negative space
+// inside the scan path (geoblock/internal/pipeline/...).
+package dfix
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+// Wall-clock reads are the violation, one diagnostic per call site.
+func clocky() (time.Time, time.Duration) {
+	start := time.Now()             // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)    // want "time.Sleep reads the wall clock"
+	return start, time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Using the global RNG adds nothing beyond the import diagnostic.
+func roll() int { return rand.Int() }
+
+// Duration arithmetic and fixed instants never observe real time.
+const tick = 250 * time.Millisecond
+
+var epoch = time.Unix(0, 0)
+
+func double(d time.Duration) time.Duration { return d * 2 }

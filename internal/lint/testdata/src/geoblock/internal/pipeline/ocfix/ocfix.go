@@ -1,0 +1,71 @@
+// Fixture: the outcomecheck analyzer. Degradation outcomes — Outage
+// values, scan/sink errors, wrapped causes — must not vanish.
+package ocfix
+
+import (
+	"errors"
+	"fmt"
+
+	"geoblock/internal/scanner"
+)
+
+// An expression statement drops the engine's error on the floor.
+func fire(domains []string) {
+	scanner.Scan(domains) // want "Scan's error is ignored"
+}
+
+// Blanking the error slot is the same drop in assignment clothes.
+func count(domains []string) int {
+	n, _ := scanner.Scan(domains) // want "Scan's error is ignored"
+	return n
+}
+
+// A discarded Outage un-counts a lost country.
+func dropAll() {
+	scanner.Drain() // want "Drain's Outage result is discarded"
+}
+
+func dropOne() {
+	_ = scanner.Probe("KP") // want "Probe's Outage result is discarded"
+}
+
+// sink mimics the streaming sink vocabulary by method name.
+type sink struct{}
+
+func (sink) Emit(s string) error { return nil }
+
+// An ignored Emit error hides coverage loss from the consumer.
+func pump(s sink, keys []string) {
+	for _, k := range keys {
+		s.Emit(k) // want "Emit's error is ignored"
+	}
+}
+
+// Handling every outcome is the contract; nothing below may fire.
+func handled(domains []string) ([]scanner.Outage, error) {
+	n, err := scanner.Scan(domains)
+	if err != nil {
+		return nil, fmt.Errorf("scan of %d domains: %w", n, err)
+	}
+	return scanner.Drain(), nil
+}
+
+var errBudget = errors.New("budget exhausted")
+
+// %v flattens the cause chain errors.Is/As classification depends on.
+func classify(err error) error {
+	if errors.Is(err, errBudget) {
+		return fmt.Errorf("fatal: %v", err) // want "fmt.Errorf formats an error operand without %w"
+	}
+	return nil
+}
+
+// %w keeps the chain; non-error operands need no wrapping; errors
+// outside the vocabulary may be dropped deliberately.
+func wrap(err error) error { return fmt.Errorf("scan: %w", err) }
+
+func describe(n int) error { return fmt.Errorf("scan saw %d samples", n) }
+
+func lenient() {
+	fmt.Println("flushed")
+}

@@ -1,0 +1,38 @@
+// Fixture for suppression-directive semantics, driven programmatically
+// by suppress_test.go rather than by // want comments: a directive
+// under test and a want expectation cannot share a line's trailing
+// comment. The test locates each case by its function declaration and
+// asserts on the diagnostics of the line below it.
+package supfix
+
+import "time"
+
+// No directive: the determinism diagnostic stands.
+func bare() time.Time {
+	return time.Now()
+}
+
+// A well-formed directive (analyzer + reason) silences its line.
+func allowed() time.Time {
+	return time.Now() //geolint:allow determinism fixture exercises a sanctioned escape
+}
+
+// A reasonless directive is itself a diagnostic and silences nothing.
+func reasonless() time.Time {
+	return time.Now() //geolint:allow determinism
+}
+
+// Naming the wrong analyzer leaves the real diagnostic standing.
+func wrongAnalyzer() time.Time {
+	return time.Now() //geolint:allow mapsort the directive names the wrong analyzer
+}
+
+// Naming an unknown analyzer is itself a diagnostic.
+func unknownAnalyzer() time.Time {
+	return time.Now() //geolint:allow clockcheck no such analyzer exists
+}
+
+//geolint:allow determinism a directive covers only its own line
+func leak() time.Time {
+	return time.Now()
+}

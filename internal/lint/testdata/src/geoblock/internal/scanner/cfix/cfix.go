@@ -1,0 +1,56 @@
+// Fixture: the ctxflow analyzer. Exported I/O in the scan path must
+// accept a context, and an incoming context must never be severed by a
+// freshly minted Background/TODO.
+package cfix
+
+import "context"
+
+// fetch is ctx-first, so calling it counts as performing I/O.
+func fetch(ctx context.Context, url string) error {
+	_ = ctx
+	_ = url
+	return nil
+}
+
+// Exported, performs I/O, no way for a caller to cancel it.
+func ScanAll(urls []string) { // want "exported ScanAll performs I/O but accepts no context.Context"
+	for _, u := range urls {
+		_ = fetch(context.Background(), u)
+	}
+}
+
+// An incoming context severed mid-flow: Ctrl-C stops propagating here.
+func Refresh(ctx context.Context, urls []string) error {
+	for _, u := range urls {
+		if err := fetch(context.Background(), u); err != nil { // want "context.Background.. severs the incoming context"
+			return err
+		}
+	}
+	return nil
+}
+
+// Session carries its context as a field, like pipeline.Study.
+type Session struct {
+	ctx context.Context
+}
+
+// The nil-default accessor is the one sanctioned minting site.
+func (s *Session) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
+// A method on a ctx-carrying receiver has an incoming context too.
+func (s *Session) Warm(urls []string) {
+	for _, u := range urls {
+		_ = fetch(context.TODO(), u) // want "context.TODO.. severs the incoming context"
+	}
+}
+
+// Unexported helpers are their exported callers' responsibility.
+func scanOne(u string) error { return fetch(context.Background(), u) }
+
+// Pure computation owes nobody a context.
+func Count(urls []string) int { return len(urls) }

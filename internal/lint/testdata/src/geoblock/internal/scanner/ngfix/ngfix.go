@@ -1,0 +1,31 @@
+// Fixture: the nakedgo analyzer. Scan-path goroutines must be tied to
+// a WaitGroup (or the scheduler's pool) so scans drain deterministically.
+package ngfix
+
+import "sync"
+
+// A bare literal goroutine can outlive the scan.
+func fire(work func()) {
+	go func() { // want "naked goroutine in the scan path"
+		work()
+	}()
+}
+
+// A named-function launch offers no drain tie at all.
+func fireNamed(work func()) {
+	go work() // want "goroutine launch in the scan path"
+}
+
+// The WaitGroup-tied worker shape is the sanctioned discipline.
+func drainAll(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,19 @@
+// Package scanner is a fixture stub standing in for the real engine:
+// just enough surface for the outcomecheck fixtures to exercise the
+// Outage rule and the error-vocabulary rule against the import path
+// they key on.
+package scanner
+
+// Outage is the typed per-country degradation record.
+type Outage struct {
+	Country string
+}
+
+// Scan returns a sample count and the run's error.
+func Scan(domains []string) (int, error) { return len(domains), nil }
+
+// Drain returns the outages a run accumulated.
+func Drain() []Outage { return nil }
+
+// Probe returns a single outage record.
+func Probe(country string) Outage { return Outage{Country: country} }

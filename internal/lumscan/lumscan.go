@@ -108,7 +108,13 @@ func DefaultConfig() Config {
 // Scan measures tasks through the proxy mesh and materializes the full
 // result, in canonical country-major, task order.
 func Scan(net *proxy.Network, domains []string, countries []geo.CountryCode, tasks []Task, cfg Config) *Result {
-	res, _ := scanner.Scan(context.Background(), net, domains, countries, tasks, cfg)
+	res, err := scanner.Scan(context.Background(), net, domains, countries, tasks, cfg)
+	if err != nil {
+		// The engine errors only on cancellation and the background
+		// context is never cancelled; anything else is an engine bug,
+		// not a degraded run the caller could reason about.
+		panic("lumscan: uncancellable scan failed: " + err.Error())
+	}
 	return res
 }
 

@@ -14,7 +14,12 @@ import (
 // problem the paper reports. Result.Countries carries one entry per
 // fleet position, and Sample.Country indexes the fleet.
 func ScanVPS(fleet []*proxy.VPS, domains []string, cfg Config) *Result {
-	res, _ := scanner.ScanVPS(context.Background(), fleet, domains, cfg)
+	res, err := scanner.ScanVPS(context.Background(), fleet, domains, cfg)
+	if err != nil {
+		// See Scan: only cancellation can error, and Background cannot
+		// be cancelled.
+		panic("lumscan: uncancellable scan failed: " + err.Error())
+	}
 	return res
 }
 

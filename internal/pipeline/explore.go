@@ -91,7 +91,7 @@ func (s *Study) RunExploration() *ExploreResult {
 	}
 	blockPairs := map[pair]blockpage.Kind{}
 	uniqueDomains := map[int32]bool{}
-	_ = lumscan.ScanVPSStream(s.ctx(), fleet, domains, nil, cfg,
+	s.noteScanErr("explore", lumscan.ScanVPSStream(s.ctx(), fleet, domains, nil, cfg,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			if !sm.OK() {
 				return
@@ -112,7 +112,7 @@ func (s *Study) RunExploration() *ExploreResult {
 				blockPairs[pair{sm.Domain, sm.Country}] = k
 				uniqueDomains[sm.Domain] = true
 			}
-		}))
+		})))
 	r.PairsBlockpage = len(blockPairs)
 	r.UniqueDomains = len(uniqueDomains)
 

@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"context"
 	"io"
 	"net/http"
 	"sort"
@@ -124,7 +123,7 @@ func (s *Study) AnalyzeTimeouts(r *Top10KResult, resamples int) *TimeoutResult {
 	scanCfg.Retries = 0
 	scanCfg.Phase = "timeout-confirm"
 	confirm := map[pairKey]*tally{}
-	_ = lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+	s.noteScanErr("timeout-confirm", lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			key := pairKey{sm.Domain, sm.Country}
 			t := confirm[key]
@@ -140,7 +139,7 @@ func (s *Study) AnalyzeTimeouts(r *Top10KResult, resamples int) *TimeoutResult {
 			default:
 				t.other++
 			}
-		}))
+		})))
 
 	for _, dIdx := range domains {
 		f := TimeoutFinding{DomainName: r.SafeDomains[dIdx]}
@@ -175,7 +174,7 @@ func (s *Study) timesOutFromDatacenter(domain string, cc geo.CountryCode) bool {
 	client := stack.Client(10)
 	seed := stats.Mix64(hashStr(domain) ^ hashStr(string(cc)) ^ 0x7a11)
 	req, err := http.NewRequestWithContext(
-		vnet.WithSampleSeed(context.Background(), seed),
+		vnet.WithSampleSeed(s.ctx(), seed),
 		http.MethodGet, "http://"+domain+"/", nil)
 	if err != nil {
 		return false
@@ -240,7 +239,7 @@ func (s *Study) RunAppLayerStudy(domains []string, ref geo.CountryCode, targets 
 		client := stack.Client(10)
 		seed := stats.Mix64(hashStr(domain) ^ hashStr(string(cc)) ^ uint64(attempt+1)*0x9e37)
 		req, err := http.NewRequestWithContext(
-			vnet.WithSampleSeed(context.Background(), seed),
+			vnet.WithSampleSeed(s.ctx(), seed),
 			http.MethodGet, "http://"+domain+"/", nil)
 		if err != nil {
 			return applayer.Observation{}, false
@@ -348,7 +347,7 @@ func (s *Study) regionBlockRate(domain string, crimea bool, samples int) (float6
 	for i := 0; i < samples; i++ {
 		seed := stats.Mix64(hashStr(domain) ^ uint64(i+1)*0x517cc1b7 ^ uint64(boolToInt(crimea)))
 		req, err := http.NewRequestWithContext(
-			vnet.WithSampleSeed(context.Background(), seed),
+			vnet.WithSampleSeed(s.ctx(), seed),
 			http.MethodGet, "http://"+domain+"/", nil)
 		if err != nil {
 			continue

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"sort"
 	"testing"
 
 	"geoblock/internal/blockpage"
@@ -22,6 +23,7 @@ func TestAnalyzeTimeouts(t *testing.T) {
 		for cc := range d.TimeoutBlock {
 			cs = append(cs, cc)
 		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 		truth[name] = cs
 	}
 	if len(truth) == 0 {

@@ -92,7 +92,7 @@ func (s *Study) RunConsistencyExperiment(r *Top10KResult, population, draws int,
 	// samples per pair this is the deepest scan in the repo, so each
 	// sample streams into its bit and the body is gone immediately.
 	perPair := map[pairKey][]bool{}
-	_ = lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+	s.noteScanErr("figure1", lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			key := pairKey{sm.Domain, sm.Country}
 			if _, tracked := kinds[key]; !tracked {
@@ -100,7 +100,7 @@ func (s *Study) RunConsistencyExperiment(r *Top10KResult, population, draws int,
 			}
 			hit := sm.OK() && sm.Body != "" && s.explicitKind(sm.Body) != blockpage.KindNone
 			perPair[key] = append(perPair[key], hit)
-		}))
+		})))
 
 	// Figure 1 draws from every candidate pair; Figure 3 ("known
 	// geoblockers") only from the pairs the threshold confirmed.

@@ -34,6 +34,12 @@ type Study struct {
 	// Ctx, when non-nil, cancels the study's scans (a cancelled study
 	// returns partial results). Nil means context.Background().
 	Ctx context.Context
+
+	// scanErr holds the first scan abort the study observed (in
+	// practice: ctx cancellation). Partial results are still returned —
+	// that is the documented contract — but the abort stays visible
+	// through Err instead of silently truncating the tables.
+	scanErr error
 }
 
 // New assembles a study over w with a fresh proxy mesh.
@@ -57,6 +63,26 @@ func (s *Study) ctx() context.Context {
 	}
 	return context.Background()
 }
+
+// noteScanErr records a scan phase that returned an error — today that
+// means the study's context was cancelled mid-phase. The phase's
+// partial output is kept (the streaming sinks have already folded it),
+// but the abort is logged and retained so callers can distinguish a
+// truncated study from a complete one.
+func (s *Study) noteScanErr(phase string, err error) {
+	if err == nil {
+		return
+	}
+	if s.scanErr == nil {
+		s.scanErr = err
+	}
+	s.logf("%s: scan aborted: %v", phase, err)
+}
+
+// Err reports the first scan abort the study observed, or nil if every
+// phase ran to completion. A non-nil Err means the study's results are
+// a prefix of the full run.
+func (s *Study) Err() error { return s.scanErr }
 
 // logCoverage reports a degraded scan phase: which countries were lost
 // and how far short of the requested coverage the run fell. A full run
@@ -183,13 +209,13 @@ func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, c
 	cfg.Phase = "country-rank"
 	cfg.KeepBody = func(int, int) bool { return false }
 	counts := make([]int, len(countries))
-	_ = lumscan.ScanStream(s.ctx(), s.Net, auxDomains, countries,
+	s.noteScanErr("country-rank", lumscan.ScanStream(s.ctx(), s.Net, auxDomains, countries,
 		lumscan.CrossProduct(len(auxDomains), len(countries)), cfg,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			if sm.OK() && sm.Status == 403 {
 				counts[sm.Country]++
 			}
-		}))
+		})))
 	idx := make([]int, len(countries))
 	for i := range idx {
 		idx[i] = i

@@ -128,8 +128,10 @@ func (s *Study) RunTop10K(cfg Top10KConfig) *Top10KResult {
 	scanCfg.Samples = cfg.InitialSamples
 	scanCfg.Concurrency = cfg.Concurrency
 	scanCfg.Phase = "top10k-initial"
-	r.Initial, _ = lumscan.ScanCtx(s.ctx(), s.Net, r.SafeDomains, r.Countries,
+	var initErr error
+	r.Initial, initErr = lumscan.ScanCtx(s.ctx(), s.Net, r.SafeDomains, r.Countries,
 		lumscan.CrossProduct(len(r.SafeDomains), len(r.Countries)), scanCfg)
+	s.noteScanErr("top10k-initial", initErr)
 	r.Outages, r.Coverage = r.Initial.Outages, r.Initial.Coverage
 	s.logf("top10k: initial snapshot %d samples", len(r.Initial.Samples))
 	s.logCoverage("top10k", r.Outages, r.Coverage)
@@ -451,8 +453,8 @@ func (s *Study) resampleAndConfirm(r *Top10KResult) {
 	// dropped, so the pass never holds a materialized Result.
 	cands := make(map[pairKey]*candidate, len(kinds))
 	s.collectPairRates(r.Initial, kinds, cands)
-	_ = lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
-		s.pairRateSink(kinds, cands))
+	s.noteScanErr("top10k-confirm", lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+		s.pairRateSink(kinds, cands)))
 
 	keys := make([]pairKey, 0, len(cands))
 	for key := range cands {

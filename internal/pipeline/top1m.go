@@ -108,8 +108,10 @@ func (s *Study) RunTop1M(cfg Top1MConfig) *Top1MResult {
 	scanCfg.Samples = cfg.InitialSamples
 	scanCfg.Concurrency = cfg.Concurrency
 	scanCfg.Phase = "top1m-initial"
-	r.Initial, _ = lumscan.ScanCtx(s.ctx(), s.Net, r.TestDomains, r.Countries,
+	var initErr error
+	r.Initial, initErr = lumscan.ScanCtx(s.ctx(), s.Net, r.TestDomains, r.Countries,
 		lumscan.CrossProduct(len(r.TestDomains), len(r.Countries)), scanCfg)
+	s.noteScanErr("top1m-initial", initErr)
 	r.Outages, r.Coverage = r.Initial.Outages, r.Initial.Coverage
 	s.logCoverage("top1m", r.Outages, r.Coverage)
 	s.diagnostics1M(r)
@@ -239,8 +241,8 @@ func (s *Study) confirmExplicit1M(r *Top1MResult) {
 
 	cands := make(map[pairKey]*candidate, len(kinds))
 	s.collectPairRates(r.Initial, kinds, cands)
-	_ = lumscan.ScanStream(s.ctx(), s.Net, r.TestDomains, r.Countries, tasks, scanCfg,
-		s.pairRateSink(kinds, cands))
+	s.noteScanErr("top1m-resample", lumscan.ScanStream(s.ctx(), s.Net, r.TestDomains, r.Countries, tasks, scanCfg,
+		s.pairRateSink(kinds, cands)))
 
 	keys := make([]pairKey, 0, len(cands))
 	for key := range cands {
@@ -326,7 +328,7 @@ func (s *Study) analyzeNonExplicit(r *Top1MResult) {
 	// every country, 20 samples each — so it streams into per-domain,
 	// per-country rates and drops each body the moment it classifies.
 	perDomain := map[int32]map[string]consistency.Rate{}
-	_ = lumscan.ScanStream(s.ctx(), s.Net, r.TestDomains, r.Countries, tasks, scanCfg,
+	s.noteScanErr("top1m-nonexplicit", lumscan.ScanStream(s.ctx(), s.Net, r.TestDomains, r.Countries, tasks, scanCfg,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			kind, tracked := ambiguous[sm.Domain]
 			if !tracked || !sm.OK() {
@@ -344,7 +346,7 @@ func (s *Study) analyzeNonExplicit(r *Top1MResult) {
 				rate.Blocks++
 			}
 			m[cc] = rate
-		}))
+		})))
 
 	r.ConsistencyScores = map[blockpage.Kind][]float64{}
 	for _, dIdx := range domains {

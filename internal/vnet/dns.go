@@ -97,7 +97,7 @@ func ParseCIDR(s string) (geo.Range, error) {
 	}
 	var a, b, c, d, bits int
 	if _, err := fmt.Sscanf(s[:i], "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
-		return geo.Range{}, fmt.Errorf("vnet: bad CIDR %q: %v", s, err)
+		return geo.Range{}, fmt.Errorf("vnet: bad CIDR %q: %w", s, err)
 	}
 	if _, err := fmt.Sscanf(s[i+1:], "%d", &bits); err != nil || bits < 8 || bits > 32 {
 		return geo.Range{}, fmt.Errorf("vnet: bad prefix length in %q", s)
