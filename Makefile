@@ -11,13 +11,16 @@
 #   make race    race-detector pass over every package (the chaos and
 #                scheduler suites exercise the concurrent scan path)
 #   make cover   coverage with ratcheted floors for the scan engine, the
-#                fault-injection layer, and the lint suite
+#                fault-injection layer, the telemetry layer, and the
+#                lint suite
 #   make bench   the scan engine benchmarks (collect vs streaming,
-#                sharded vs one-worker-per-country)
+#                sharded vs one-worker-per-country, instrumented vs bare)
+#   make profile the streaming scan benchmark under the CPU and memory
+#                profilers; inspect with `go tool pprof geoblock.test cpu.prof`
 
 GO ?= go
 
-.PHONY: check lint race cover bench
+.PHONY: check lint race cover bench profile
 
 check:
 	$(GO) build ./...
@@ -44,7 +47,13 @@ cover:
 	}; \
 	check ./internal/scanner 85; \
 	check ./internal/faults 88; \
-	check ./internal/lint 87
+	check ./internal/lint 87; \
+	check ./internal/telemetry 94
 
 bench:
-	$(GO) test . -run xxx -bench 'BenchmarkScan(Collect|Streaming|SkewedSharded)' -benchtime 3x
+	$(GO) test . -run xxx -bench 'BenchmarkScan(Collect|Streaming|SkewedSharded|Instrumented)' -benchtime 3x
+
+profile:
+	$(GO) test . -run xxx -bench 'BenchmarkScanStreaming' -benchtime 10x \
+		-cpuprofile cpu.prof -memprofile mem.prof -o geoblock.test
+	@echo "inspect with: $(GO) tool pprof geoblock.test cpu.prof"

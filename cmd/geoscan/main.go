@@ -12,17 +12,22 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"geoblock"
 	"geoblock/internal/analysis"
 	"geoblock/internal/faults"
+	"geoblock/internal/lumscan"
 	"geoblock/internal/papertables"
+	"geoblock/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +38,8 @@ func main() {
 	faultsFlag := flag.String("faults", "", "chaos profile to inject into the proxy mesh: "+strings.Join(faults.Names(), ", "))
 	faultSeed := flag.Uint64("faultseed", 1, "fault-injection seed (reproducible chaos)")
 	faultCountry := flag.String("faultcountry", "", "restrict the chaos profile to one country code (default: all)")
+	metricsAddr := flag.String("metrics", "", "serve /debug/metrics (and pprof) on this address while the study runs")
+	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this file (.json for JSON, else text)")
 	flag.Parse()
 
 	// Ctrl-C cancels in-flight scans; studies then return partial
@@ -40,7 +47,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := geoblock.Options{Seed: *seed, Scale: *scale, Ctx: ctx}
+	// Studies driven from the CLI report real elapsed time in their
+	// phase spans, and the registry backs the live endpoints below.
+	reg := telemetry.NewWithClock(telemetry.Wall{})
+	opts := geoblock.Options{Seed: *seed, Scale: *scale, Ctx: ctx, Metrics: reg}
 	if *verbose {
 		opts.Log = func(format string, args ...any) {
 			log.Printf(format, args...)
@@ -49,6 +59,21 @@ func main() {
 	sys := geoblock.New(opts)
 	out := os.Stdout
 
+	if *metricsAddr != "" {
+		srv := telemetry.MetricsServer(*metricsAddr, reg)
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "geoscan: metrics server: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "geoscan: metrics on http://%s/debug/metrics\n", *metricsAddr)
+	}
+	stopProgress := telemetry.StartProgress(os.Stderr, 2*time.Second, func() string {
+		return "geoscan: " + lumscan.ProgressLine(reg)
+	})
+	defer stopProgress()
+
 	if *faultsFlag != "" {
 		profile, ok := faults.Named(*faultsFlag)
 		if !ok {
@@ -56,7 +81,7 @@ func main() {
 				*faultsFlag, strings.Join(faults.Names(), ", "))
 			os.Exit(2)
 		}
-		inj := faults.New(*faultSeed)
+		inj := faults.New(*faultSeed).Instrument(reg)
 		if *faultCountry != "" {
 			inj.Country(geoblock.CountryCode(strings.ToUpper(*faultCountry)), profile)
 		} else {
@@ -137,5 +162,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown study %q\n", *study)
 		os.Exit(2)
+	}
+
+	stopProgress()
+	if *metricsOut != "" {
+		if err := reg.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "geoscan: metrics-out: %v\n", err)
+		}
 	}
 }

@@ -11,11 +11,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"geoblock"
 	"geoblock/internal/faults"
@@ -23,6 +26,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/lumscan"
 	"geoblock/internal/proxy"
+	"geoblock/internal/telemetry"
 )
 
 func main() {
@@ -36,11 +40,27 @@ func main() {
 	faultsFlag := flag.String("faults", "", "chaos profile to inject: "+strings.Join(faults.Names(), ", "))
 	faultSeed := flag.Uint64("faultseed", 1, "fault-injection seed (reproducible chaos)")
 	faultCountry := flag.String("faultcountry", "", "restrict the chaos profile to one country code (default: all)")
+	metricsAddr := flag.String("metrics", "", "serve /debug/metrics (and pprof) on this address while the scan runs")
+	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this file (.json for JSON, else text)")
 	flag.Parse()
 
 	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale})
 	net := proxy.NewNetwork(sys.World)
 	cls := fingerprint.NewClassifier()
+
+	// An interactive scan runs on the wall clock so span durations and
+	// the fetch-latency histogram mean something.
+	reg := telemetry.NewWithClock(telemetry.Wall{})
+	if *metricsAddr != "" {
+		srv := telemetry.MetricsServer(*metricsAddr, reg)
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "lumscan: metrics server: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "lumscan: metrics on http://%s/debug/metrics\n", *metricsAddr)
+	}
 
 	if *faultsFlag != "" {
 		profile, ok := faults.Named(*faultsFlag)
@@ -49,7 +69,7 @@ func main() {
 				*faultsFlag, strings.Join(faults.Names(), ", "))
 			os.Exit(2)
 		}
-		inj := faults.New(*faultSeed)
+		inj := faults.New(*faultSeed).Instrument(reg)
 		if *faultCountry != "" {
 			inj.Country(geo.CountryCode(strings.ToUpper(*faultCountry)), profile)
 		} else {
@@ -89,6 +109,7 @@ func main() {
 	cfg := lumscan.DefaultConfig()
 	cfg.Samples = *samples
 	cfg.Phase = "cli"
+	cfg.Metrics = reg
 	if *zgrab {
 		cfg.Headers = lumscan.ZGrabHeaders()
 	}
@@ -97,6 +118,9 @@ func main() {
 	// by the engine), and let Ctrl-C cancel a long run cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	stopProgress := telemetry.StartProgress(os.Stderr, 2*time.Second, func() string {
+		return "lumscan: " + lumscan.ProgressLine(reg)
+	})
 	fmt.Printf("%-28s %-4s %-3s %-8s %-6s %-16s %s\n",
 		"DOMAIN", "CC", "N", "STATUS", "BYTES", "EXIT", "PAGE")
 	err := lumscan.ScanStream(ctx, net, domains, countries,
@@ -120,6 +144,12 @@ func main() {
 			fmt.Printf("%-28s %-4s %-3d %-8d %-6d %-16s %s\n",
 				domain, cc, s.Attempt, s.Status, s.BodyLen, s.ExitIP, page)
 		}})
+	stopProgress()
+	if *metricsOut != "" {
+		if werr := reg.Snapshot().WriteFile(*metricsOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "lumscan: metrics-out: %v\n", werr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lumscan: interrupted: %v\n", err)
 		os.Exit(1)

@@ -14,15 +14,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"geoblock"
 	"geoblock/internal/blockpage"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/vnet"
 	"geoblock/internal/worldgen"
 )
@@ -33,7 +38,10 @@ func main() {
 	seed := flag.Uint64("seed", 403, "world seed")
 	flag.Parse()
 
-	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale})
+	// The daemon is a real server, so its telemetry runs on the wall
+	// clock; /debug/metrics serves the live registry.
+	reg := telemetry.NewWithClock(telemetry.Wall{})
+	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale, Metrics: reg})
 
 	mux := http.NewServeMux()
 	mux.Handle("/", vnet.Handler(sys.World))
@@ -86,14 +94,52 @@ func main() {
 		http.Error(w, "unknown page class: "+kind, http.StatusNotFound)
 	})
 
+	telemetry.AttachDebug(mux, reg)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           countRequests(reg, mux),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("worldd: %d domains simulated; serving on %s", len(sys.World.Top10K()), *addr)
 	log.Printf("try: curl 'http://localhost%s/?host=airbnb.fr&from=IR'", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	log.Printf("metrics: curl 'http://localhost%s/debug/metrics'", *addr)
+
+	// Serve until the listener fails or the process is interrupted;
+	// on SIGINT/SIGTERM, drain in-flight requests before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("worldd: shutdown: %v", err)
+			return
+		}
+		log.Printf("worldd: shut down cleanly")
 	}
+}
+
+// countRequests tallies served requests by coarse path class so the
+// /debug/metrics view shows what the daemon has been asked for.
+func countRequests(reg *telemetry.Registry, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		class := "world"
+		switch {
+		case r.URL.Path == "/domains":
+			class = "domains"
+		case r.URL.Path == "/gallery":
+			class = "gallery"
+		case strings.HasPrefix(r.URL.Path, "/debug/"):
+			class = "debug"
+		}
+		reg.RuntimeCounter(telemetry.Label("worldd.requests", "path", class)).Add(1)
+		next.ServeHTTP(w, r)
+	})
 }

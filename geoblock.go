@@ -28,6 +28,7 @@ import (
 	"geoblock/internal/ooni"
 	"geoblock/internal/pipeline"
 	"geoblock/internal/proxy"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/worldgen"
 )
 
@@ -86,6 +87,11 @@ type Options struct {
 	// Ctx, when non-nil, cancels in-flight scans when it expires; a
 	// cancelled study returns partial results. Nil means never cancel.
 	Ctx context.Context
+	// Metrics, when non-nil, replaces the study's default virtual-clock
+	// telemetry registry. CLIs that want wall-clock span durations and a
+	// live /debug/metrics view inject telemetry.NewWithClock(telemetry.Wall{})
+	// here; leaving it nil keeps snapshots deterministic.
+	Metrics *telemetry.Registry
 }
 
 // System is a simulated Internet plus the measurement apparatus over
@@ -115,7 +121,16 @@ func New(opts Options) *System {
 	s := pipeline.New(w)
 	s.Log = opts.Log
 	s.Ctx = opts.Ctx
+	if opts.Metrics != nil {
+		s.Metrics = opts.Metrics
+	}
 	return &System{World: w, study: s}
+}
+
+// Metrics exposes the system's telemetry registry: scan counters, error
+// tallies, and the phase-span tree accumulate here as studies run.
+func (s *System) Metrics() *telemetry.Registry {
+	return s.study.Metrics
 }
 
 // Net exposes the system's residential proxy mesh — the seam for

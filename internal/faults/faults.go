@@ -17,7 +17,11 @@
 // injector's seed and the call's arguments. No mutable state, no wall
 // time, no call-order dependence — so a scan under a fixed fault seed
 // is byte-identical at any Concurrency, and a failure found in chaos
-// testing replays from a single seed.
+// testing replays from a single seed. The optional telemetry registry
+// (Instrument) is a pure side channel: it counts fired verdicts and
+// never feeds back into them, and because the engine's hook call
+// pattern is schedule-independent, the counts themselves are
+// deterministic too.
 package faults
 
 import (
@@ -28,6 +32,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
 	"geoblock/internal/stats"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/vnet"
 )
 
@@ -73,11 +78,12 @@ func (p Profile) active() bool { return p != Profile{} }
 
 // Injector implements proxy.FaultHook from a single seed plus a
 // default and optional per-country profiles. It is safe for concurrent
-// use: all methods are pure.
+// use: all methods are pure (the metrics registry only ever counts).
 type Injector struct {
 	seed       uint64
 	def        Profile
 	perCountry map[geo.CountryCode]Profile
+	metrics    *telemetry.Registry
 }
 
 // New returns an injector that injects nothing until profiles are set.
@@ -100,6 +106,26 @@ func (in *Injector) Country(cc geo.CountryCode, p Profile) *Injector {
 
 // Seed returns the injector's seed (for replay reporting).
 func (in *Injector) Seed() uint64 { return in.seed }
+
+// MetInjected is the fired-fault counter series, labeled by fault kind
+// (brownout, dark, churn, exitdown, stall, truncate) and country
+// ("vps" on the country-agnostic transport seam).
+const MetInjected = "faults.injected"
+
+// Instrument routes a counter per fired fault verdict into reg,
+// labeled by kind and country. Call before the scan (the field is not
+// synchronized); verdicts are unaffected. Returns the injector for
+// chaining.
+func (in *Injector) Instrument(reg *telemetry.Registry) *Injector {
+	in.metrics = reg
+	return in
+}
+
+// count tallies one fired verdict. Pure side channel: no influence on
+// any verdict, and nil-safe when the injector is uninstrumented.
+func (in *Injector) count(kind string, country string) {
+	in.metrics.Counter(telemetry.Label(MetInjected, "kind", kind, "country", country)).Add(1)
+}
 
 func (in *Injector) profile(cc geo.CountryCode) Profile {
 	if p, ok := in.perCountry[cc]; ok {
@@ -132,7 +158,11 @@ func (in *Injector) Brownout(cc geo.CountryCode, slot uint64, attempt int) bool 
 	if length == 0 {
 		length = DefaultBrownoutLen
 	}
-	return length < 0 || attempt < length
+	fired := length < 0 || attempt < length
+	if fired {
+		in.count("brownout", string(cc))
+	}
+	return fired
 }
 
 // ExitDark implements proxy.FaultHook.
@@ -141,7 +171,11 @@ func (in *Injector) ExitDark(cc geo.CountryCode, exit geo.IP) bool {
 	if p.DarkExits <= 0 {
 		return false
 	}
-	return in.draw("dark", hashString(string(cc)), uint64(exit)) < p.DarkExits
+	fired := in.draw("dark", hashString(string(cc)), uint64(exit)) < p.DarkExits
+	if fired {
+		in.count("dark", string(cc))
+	}
+	return fired
 }
 
 // Churned implements proxy.FaultHook.
@@ -154,7 +188,11 @@ func (in *Injector) Churned(cc geo.CountryCode, exit geo.IP, served int) bool {
 		return false
 	}
 	deathAt := 1 + int(stats.Mix64(in.seed^0xc4a12b^uint64(exit))%churnSpan)
-	return served >= deathAt
+	fired := served >= deathAt
+	if fired {
+		in.count("churn", string(cc))
+	}
+	return fired
 }
 
 // Request implements proxy.FaultHook: one draw, split across the
@@ -167,10 +205,13 @@ func (in *Injector) Request(cc geo.CountryCode, exit geo.IP, host string, seed u
 	u := in.draw("request", uint64(exit), hashString(host), seed)
 	switch {
 	case u < p.ExitFailure:
+		in.count("exitdown", string(cc))
 		return proxy.FaultExitDown
 	case u < p.ExitFailure+p.Stall:
+		in.count("stall", string(cc))
 		return proxy.FaultStall
 	case u < p.ExitFailure+p.Stall+p.Truncate:
+		in.count("truncate", string(cc))
 		return proxy.FaultTruncate
 	}
 	return proxy.FaultNone
@@ -198,14 +239,17 @@ func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	u := t.in.draw("transport", hashString(host), seed)
 	switch {
 	case u < p.ExitFailure:
+		t.in.count("exitdown", "vps")
 		return nil, &vnet.OpError{Op: "proxy", Host: host, Msg: "injected: connection failed"}
 	case u < p.ExitFailure+p.Stall:
+		t.in.count("stall", "vps")
 		return nil, vnet.TimeoutError("read", host)
 	case u < p.ExitFailure+p.Stall+p.Truncate:
 		resp, err := t.next.RoundTrip(req)
 		if err != nil {
 			return nil, err
 		}
+		t.in.count("truncate", "vps")
 		truncate(resp, seed)
 		return resp, nil
 	}

@@ -15,6 +15,8 @@ import (
 func TestDeterminism(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.Determinism,
 		"geoblock/internal/pipeline/dfix",
+		// Telemetry: wall clock legal only in the clock.go Clock seam.
+		"geoblock/internal/telemetry/tfix",
 		// Out of scope: the wall clock is legal off the scan path.
 		"geoblock/internal/cdnid/dfix")
 }

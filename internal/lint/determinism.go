@@ -11,6 +11,8 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
+	"strings"
 )
 
 // determinismScope is the scan path: every package whose output feeds
@@ -25,6 +27,7 @@ var determinismScope = scope(
 	"geoblock/internal/papertables/...",
 	"geoblock/internal/faults/...",
 	"geoblock/internal/worldgen/...",
+	"geoblock/internal/telemetry/...",
 )
 
 // wallClockFuncs are the time package functions that read or wait on
@@ -74,6 +77,17 @@ func runDeterminism(p *Pass) {
 			}
 			fn, ok := p.Info.Uses[id].(*types.Func)
 			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			if strings.HasPrefix(p.Path, "geoblock/internal/telemetry") {
+				// The telemetry package owns the engine's single
+				// sanctioned wall-clock read: the Wall implementation of
+				// the injected Clock interface, which lives in clock.go
+				// and nowhere else.
+				if filepath.Base(p.Fset.Position(id.Pos()).Filename) == "clock.go" {
+					return true
+				}
+				p.Reportf(id.Pos(), "time.%s in internal/telemetry outside the Clock seam: all telemetry timing must flow through the injected Clock (clock.go), or snapshots stop being reproducible", fn.Name())
 				return true
 			}
 			p.Reportf(id.Pos(), "time.%s reads the wall clock: scan-path timing must come from the virtual clock (injected sleep/now functions) or an injected timestamp, or output stops being reproducible", fn.Name())

@@ -1,0 +1,10 @@
+// Fixture: clock.go is the telemetry package's sanctioned Clock seam —
+// the one file where a wall-clock read is legal.
+package tfix
+
+import "time"
+
+// Wall mirrors telemetry.Wall: the single sanctioned time.Now.
+type Wall struct{}
+
+func (Wall) Now() time.Time { return time.Now() }

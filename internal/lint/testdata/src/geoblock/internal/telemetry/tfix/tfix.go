@@ -1,0 +1,18 @@
+// Fixture: outside clock.go, the telemetry package gets its own
+// determinism diagnostic — timing must flow through the injected Clock.
+package tfix
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in internal/telemetry outside the Clock seam"
+}
+
+func wait() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in internal/telemetry outside the Clock seam"
+}
+
+// Duration arithmetic and tickers stay legal: only observing real time
+// is forbidden, and periodic progress output is driven by a ticker the
+// caller owns.
+func ticker() *time.Ticker { return time.NewTicker(time.Second) }

@@ -91,6 +91,10 @@ var BrowserHeaders = scanner.BrowserHeaders
 // ZGrabHeaders is the bare header set of the §3.1 VPS exploration.
 var ZGrabHeaders = scanner.ZGrabHeaders
 
+// ProgressLine renders a one-line scan progress summary from a
+// telemetry registry the scan was pointed at (Config.Metrics).
+var ProgressLine = scanner.ProgressLine
+
 // DefaultConfig is the initial-snapshot configuration of §4.1.1.
 func DefaultConfig() Config {
 	return Config{

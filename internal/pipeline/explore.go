@@ -8,6 +8,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/lumscan"
 	"geoblock/internal/proxy"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/worldgen"
 )
 
@@ -32,12 +33,21 @@ type ExploreResult struct {
 	FalsePositivesAkamai int
 	UniqueDomains        int
 	PerProviderPairs     map[blockpage.Kind]int
+
+	// Telemetry is the engine-health snapshot at the end of the run,
+	// deterministic view (see Top10KResult.Telemetry).
+	Telemetry *telemetry.Snapshot
 }
 
 // RunExploration executes the §3.1 exploration against the Top-1M NS
 // populations.
 func (s *Study) RunExploration() *ExploreResult {
 	r := &ExploreResult{PerProviderPairs: map[blockpage.Kind]int{}}
+	sp := s.phase("explore")
+	defer func() {
+		sp.End()
+		r.Telemetry = s.snapshot()
+	}()
 
 	id := cdnid.NewIdentifier(s.World)
 	ranks := make([]int, 0, len(s.World.CustomerRanks())+len(s.World.Top10K()))
@@ -78,7 +88,8 @@ func (s *Study) RunExploration() *ExploreResult {
 		len(domains), r.NSCloudflare, r.NSAkamai)
 
 	fleet := proxy.VPSFleet(s.World, proxy.VPSCountries())
-	cfg := lumscan.Config{Samples: 1, Headers: lumscan.ZGrabHeaders(), Phase: "explore", MaxRedirects: 10}
+	cfg := lumscan.Config{Samples: 1, Headers: lumscan.ZGrabHeaders(), Phase: "explore", MaxRedirects: 10,
+		Metrics: s.Metrics, Span: sp}
 
 	countryIdx := map[geo.CountryCode]int16{}
 	for i, v := range fleet {
@@ -129,7 +140,8 @@ func (s *Study) RunExploration() *ExploreResult {
 		}
 		return keys[i].domain < keys[j].domain
 	})
-	verifyCfg := lumscan.Config{Samples: 1, Headers: lumscan.BrowserHeaders(), Phase: "explore-verify", MaxRedirects: 10}
+	verifyCfg := lumscan.Config{Samples: 1, Headers: lumscan.BrowserHeaders(), Phase: "explore-verify", MaxRedirects: 10,
+		Metrics: s.Metrics, Span: sp}
 	for _, key := range keys {
 		kind := blockPairs[key]
 		r.PerProviderPairs[kind]++

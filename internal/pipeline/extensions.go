@@ -56,6 +56,8 @@ func (s *Study) AnalyzeTimeouts(r *Top10KResult, resamples int) *TimeoutResult {
 		resamples = 10
 	}
 	out := &TimeoutResult{}
+	sp := s.phase("timeouts")
+	defer sp.End()
 
 	// Pass 1: per (domain, country) timeout and response tallies.
 	type tally struct{ timeouts, responses, other int }
@@ -118,10 +120,9 @@ func (s *Study) AnalyzeTimeouts(r *Top10KResult, resamples int) *TimeoutResult {
 	out.CrossCheckedPairs = len(tasks)
 
 	// Pass 3: confirmation resample of the surviving pairs.
-	scanCfg := lumscan.DefaultConfig()
+	scanCfg := s.scanConfig("timeout-confirm", sp)
 	scanCfg.Samples = resamples
 	scanCfg.Retries = 0
-	scanCfg.Phase = "timeout-confirm"
 	confirm := map[pairKey]*tally{}
 	s.noteScanErr("timeout-confirm", lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {

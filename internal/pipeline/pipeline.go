@@ -18,6 +18,7 @@ import (
 	"geoblock/internal/lumscan"
 	"geoblock/internal/proxy"
 	"geoblock/internal/stats"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/worldgen"
 )
 
@@ -34,6 +35,11 @@ type Study struct {
 	// Ctx, when non-nil, cancels the study's scans (a cancelled study
 	// returns partial results). Nil means context.Background().
 	Ctx context.Context
+	// Metrics receives counters and phase spans from every scan the
+	// study runs. New installs a virtual-clock registry (deterministic
+	// snapshots); replace it with telemetry.NewWithClock(telemetry.Wall{})
+	// before running to time a real study. Never nil after New.
+	Metrics *telemetry.Registry
 
 	// scanErr holds the first scan abort the study observed (in
 	// practice: ctx cancellation). Partial results are still returned —
@@ -48,7 +54,32 @@ func New(w *worldgen.World) *Study {
 		World:      w,
 		Net:        proxy.NewNetwork(w),
 		Classifier: fingerprint.NewClassifier(),
+		Metrics:    telemetry.New(),
 	}
+}
+
+// phase opens a pipeline-level span; scan configs built inside the
+// phase set Config.Span to it so the trace nests pipeline phase →
+// scan phase → country.
+func (s *Study) phase(name string) *telemetry.Span {
+	return s.Metrics.StartSpan("pipeline/" + name)
+}
+
+// scanConfig is DefaultConfig wired to the study's registry and the
+// enclosing phase span.
+func (s *Study) scanConfig(phase string, span *telemetry.Span) lumscan.Config {
+	cfg := lumscan.DefaultConfig()
+	cfg.Phase = phase
+	cfg.Metrics = s.Metrics
+	cfg.Span = span
+	return cfg
+}
+
+// snapshot exports the study's telemetry in its deterministic view —
+// the form study results carry, so a result is still a pure function
+// of the study's inputs.
+func (s *Study) snapshot() *telemetry.Snapshot {
+	return s.Metrics.Snapshot().Deterministic()
 }
 
 func (s *Study) logf(format string, args ...any) {
@@ -184,7 +215,7 @@ func (s *Study) collectPairRates(res *lumscan.Result, kinds map[pairKey]blockpag
 // safe set from every country and rank countries by how many 403s come
 // back. The top of that ranking selects the reference countries for
 // representative page lengths.
-func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, countries []geo.CountryCode, samples int) []geo.CountryCode {
+func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, countries []geo.CountryCode, samples int, span *telemetry.Span) []geo.CountryCode {
 	var auxDomains []string
 	for i, rank := range safeRanks {
 		d := s.World.DomainAt(rank)
@@ -204,9 +235,8 @@ func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, c
 		auxDomains = safeDomains[:n]
 	}
 
-	cfg := lumscan.DefaultConfig()
+	cfg := s.scanConfig("country-rank", span)
 	cfg.Samples = samples
-	cfg.Phase = "country-rank"
 	cfg.KeepBody = func(int, int) bool { return false }
 	counts := make([]int, len(countries))
 	s.noteScanErr("country-rank", lumscan.ScanStream(s.ctx(), s.Net, auxDomains, countries,

@@ -10,6 +10,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/lumscan"
 	"geoblock/internal/outlier"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/textfeat"
 )
 
@@ -101,6 +102,13 @@ type Top10KResult struct {
 	// Length-heuristic evaluation (Table 2, §4.1.5).
 	Recall map[blockpage.Kind]RecallRow
 
+	// Telemetry is the study's engine-health snapshot at the end of the
+	// run, in its deterministic view (runtime-class metrics stripped,
+	// span durations zeroed) so the result stays a pure function of the
+	// study inputs. The live registry — runtime metrics included — is
+	// Study.Metrics.
+	Telemetry *telemetry.Snapshot
+
 	// Resampling and confirmation (§4.1.4, §4.2).
 	CandidatePairs int
 	// Candidates lists every pair that showed an explicit block page at
@@ -116,6 +124,11 @@ type Top10KResult struct {
 func (s *Study) RunTop10K(cfg Top10KConfig) *Top10KResult {
 	cfg.fill()
 	r := &Top10KResult{Config: cfg}
+	sp := s.phase("top10k")
+	defer func() {
+		sp.End()
+		r.Telemetry = s.snapshot()
+	}()
 
 	s.filterSafe(r)
 	s.logf("top10k: %d initial, %d safe (%d risky, %d citizenlab removed)",
@@ -124,10 +137,9 @@ func (s *Study) RunTop10K(cfg Top10KConfig) *Top10KResult {
 	r.Countries = s.measurableCountries()
 
 	// Initial snapshot: 3 samples per pair.
-	scanCfg := lumscan.DefaultConfig()
+	scanCfg := s.scanConfig("top10k-initial", sp)
 	scanCfg.Samples = cfg.InitialSamples
 	scanCfg.Concurrency = cfg.Concurrency
-	scanCfg.Phase = "top10k-initial"
 	var initErr error
 	r.Initial, initErr = lumscan.ScanCtx(s.ctx(), s.Net, r.SafeDomains, r.Countries,
 		lumscan.CrossProduct(len(r.SafeDomains), len(r.Countries)), scanCfg)
@@ -139,22 +151,26 @@ func (s *Study) RunTop10K(cfg Top10KConfig) *Top10KResult {
 	s.populationDiagnostics(r)
 
 	// Reference countries for representative lengths.
-	ranked := s.rankCountriesByBlocking(r.SafeDomains, r.SafeRanks, r.Countries, 3)
+	ranked := s.rankCountriesByBlocking(r.SafeDomains, r.SafeRanks, r.Countries, 3, sp)
 	k := cfg.RepCountryCount
 	if k > len(ranked) {
 		k = len(ranked)
 	}
 	r.RepCountries = ranked[:k]
 
+	osp := sp.StartSpan("outliers")
 	s.extractOutliers(r)
+	osp.End()
 	s.logf("top10k: %d outliers from %d reference samples", len(r.Outliers), r.RepSampleCount)
 
+	csp := sp.StartSpan("cluster")
 	s.clusterAndLabel(r)
+	csp.End()
 	s.logf("top10k: %d clusters, %d block-page kinds discovered", len(r.Clusters), len(r.DiscoveredKinds))
 
 	s.evaluateRecall(r)
 
-	s.resampleAndConfirm(r)
+	s.resampleAndConfirm(r, sp)
 	s.logf("top10k: %d candidate pairs, %d confirmed, %d eliminated",
 		r.CandidatePairs, len(r.Findings), r.Eliminated)
 	return r
@@ -402,7 +418,7 @@ func (s *Study) evaluateRecall(r *Top10KResult) {
 // geoblock page, sample it 20 more times (after the world moves on — a
 // policy can change under the study), and confirm at the agreement
 // threshold over all samples.
-func (s *Study) resampleAndConfirm(r *Top10KResult) {
+func (s *Study) resampleAndConfirm(r *Top10KResult, sp *telemetry.Span) {
 	kinds := make(map[pairKey]blockpage.Kind)
 	for i := range r.Initial.Samples {
 		sm := &r.Initial.Samples[i]
@@ -443,10 +459,9 @@ func (s *Study) resampleAndConfirm(r *Top10KResult) {
 		return tasks[i].Domain < tasks[j].Domain
 	})
 
-	scanCfg := lumscan.DefaultConfig()
+	scanCfg := s.scanConfig("top10k-resample", sp)
 	scanCfg.Samples = r.Config.ResampleCount
 	scanCfg.Concurrency = r.Config.Concurrency
-	scanCfg.Phase = "top10k-resample"
 
 	// The confirmation pass streams straight into the rate fold: each
 	// 20-sample pair is digested as its shard completes and its bodies

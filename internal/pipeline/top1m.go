@@ -10,6 +10,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/lumscan"
 	"geoblock/internal/stats"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/worldgen"
 )
 
@@ -89,14 +90,25 @@ type Top1MResult struct {
 	NonExplicitSeen     map[blockpage.Kind]int // domains with ≥1 page
 	NonExplicitFindings []NonExplicitFinding
 	ConsistencyScores   map[blockpage.Kind][]float64
+
+	// Telemetry is the engine-health snapshot at the end of the run,
+	// deterministic view (see Top10KResult.Telemetry).
+	Telemetry *telemetry.Snapshot
 }
 
 // RunTop1M executes the full §5 study.
 func (s *Study) RunTop1M(cfg Top1MConfig) *Top1MResult {
 	cfg.fill()
 	r := &Top1MResult{Config: cfg, TestedPerProvider: map[worldgen.Provider]int{}}
+	sp := s.phase("top1m")
+	defer func() {
+		sp.End()
+		r.Telemetry = s.snapshot()
+	}()
 
+	dsp := sp.StartSpan("discover")
 	s.discover(r)
+	dsp.End()
 	s.logf("top1m: discovered %d customers (%d dual)", r.Discovered.Total(), r.DualCount)
 
 	s.sampleTestList(r)
@@ -104,10 +116,9 @@ func (s *Study) RunTop1M(cfg Top1MConfig) *Top1MResult {
 		r.EligibleCount, len(r.TestDomains), cfg.SampleFraction*100)
 
 	r.Countries = s.measurableCountries()
-	scanCfg := lumscan.DefaultConfig()
+	scanCfg := s.scanConfig("top1m-initial", sp)
 	scanCfg.Samples = cfg.InitialSamples
 	scanCfg.Concurrency = cfg.Concurrency
-	scanCfg.Phase = "top1m-initial"
 	var initErr error
 	r.Initial, initErr = lumscan.ScanCtx(s.ctx(), s.Net, r.TestDomains, r.Countries,
 		lumscan.CrossProduct(len(r.TestDomains), len(r.Countries)), scanCfg)
@@ -116,11 +127,11 @@ func (s *Study) RunTop1M(cfg Top1MConfig) *Top1MResult {
 	s.logCoverage("top1m", r.Outages, r.Coverage)
 	s.diagnostics1M(r)
 
-	s.confirmExplicit1M(r)
+	s.confirmExplicit1M(r, sp)
 	s.logf("top1m: %d explicit findings (%d pairs eliminated)",
 		len(r.ExplicitFindings), r.EliminatedPairs)
 
-	s.analyzeNonExplicit(r)
+	s.analyzeNonExplicit(r, sp)
 	s.logf("top1m: %d non-explicit findings", len(r.NonExplicitFindings))
 	return r
 }
@@ -211,7 +222,7 @@ func (s *Study) diagnostics1M(r *Top1MResult) {
 // App Engine-hosted domains whose platform block in a sanctioned
 // country could not be measured because the national filter got there
 // first.
-func (s *Study) confirmExplicit1M(r *Top1MResult) {
+func (s *Study) confirmExplicit1M(r *Top1MResult, sp *telemetry.Span) {
 	kinds := make(map[pairKey]blockpage.Kind)
 	for i := range r.Initial.Samples {
 		sm := &r.Initial.Samples[i]
@@ -234,10 +245,9 @@ func (s *Study) confirmExplicit1M(r *Top1MResult) {
 		}
 		return tasks[i].Domain < tasks[j].Domain
 	})
-	scanCfg := lumscan.DefaultConfig()
+	scanCfg := s.scanConfig("top1m-resample", sp)
 	scanCfg.Samples = r.Config.ResampleCount
 	scanCfg.Concurrency = r.Config.Concurrency
-	scanCfg.Phase = "top1m-resample"
 
 	cands := make(map[pairKey]*candidate, len(kinds))
 	s.collectPairRates(r.Initial, kinds, cands)
@@ -290,7 +300,7 @@ func (s *Study) confirmExplicit1M(r *Top1MResult) {
 // Akamai or Incapsula page anywhere, sample it again in *every* country
 // and apply the consistency metric; report domains with a perfect
 // consistency score that are not blocked everywhere.
-func (s *Study) analyzeNonExplicit(r *Top1MResult) {
+func (s *Study) analyzeNonExplicit(r *Top1MResult, sp *telemetry.Span) {
 	ambiguous := map[int32]blockpage.Kind{}
 	for i := range r.Initial.Samples {
 		sm := &r.Initial.Samples[i]
@@ -319,10 +329,9 @@ func (s *Study) analyzeNonExplicit(r *Top1MResult) {
 			tasks = append(tasks, lumscan.Task{Domain: d, Country: int16(ci)})
 		}
 	}
-	scanCfg := lumscan.DefaultConfig()
+	scanCfg := s.scanConfig("top1m-nonexplicit", sp)
 	scanCfg.Samples = r.Config.ResampleCount
 	scanCfg.Concurrency = r.Config.Concurrency
-	scanCfg.Phase = "top1m-nonexplicit"
 
 	// This is the study's widest scan — every ambiguous domain in
 	// every country, 20 samples each — so it streams into per-domain,

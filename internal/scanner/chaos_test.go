@@ -2,6 +2,7 @@ package scanner
 
 import (
 	"context"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"geoblock/internal/faults"
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
+	"geoblock/internal/telemetry"
 )
 
 // chaosNet builds a fresh mesh with the given fault hook installed, so
@@ -205,6 +207,53 @@ func TestChaosDeterminism(t *testing.T) {
 	}
 }
 
+// TestChaosTelemetryDeterminism extends the chaos matrix to the
+// telemetry layer: under every standing fault profile, the
+// deterministic view of the scan's metrics snapshot — counters, error
+// tallies, fault counters, span counts — must be byte-identical at
+// Concurrency 1, 4, and 32. Only the explicitly runtime-class series
+// (steals, worker gauge, latency histogram) may vary with the schedule,
+// and Deterministic() strips exactly those.
+func TestChaosTelemetryDeterminism(t *testing.T) {
+	domains, countries := smallInputs(48)
+	tasks := skewedTasks(len(domains), len(countries))
+
+	for _, name := range faults.Names() {
+		t.Run(name, func(t *testing.T) {
+			profile, _ := faults.Named(name)
+			var base string
+			for _, conc := range []int{1, 4, 32} {
+				reg := telemetry.New()
+				inj := faults.New(42).Default(profile).Instrument(reg)
+				cfg := testConfig()
+				cfg.Concurrency = conc
+				cfg.Metrics = reg
+				cfg.Phase = "chaos"
+				if _, err := Scan(context.Background(), chaosNet(inj), domains, countries, tasks, cfg); err != nil {
+					t.Fatalf("concurrency %d: %v", conc, err)
+				}
+				text := reg.Snapshot().Deterministic().Text()
+				if base == "" {
+					base = text
+					continue
+				}
+				if text != base {
+					t.Fatalf("concurrency %d: deterministic snapshot differs from concurrency 1:\n--- base ---\n%s\n--- got ---\n%s",
+						conc, base, text)
+				}
+			}
+			if !strings.Contains(base, "faults.injected") {
+				t.Fatalf("profile %s fired no faults; snapshot:\n%s", name, base)
+			}
+			// Fetch counters only exist when a fetch happened; blackout
+			// never gets past session open. Scheduler counters always do.
+			if !strings.Contains(base, "scanner.sched.shards_done") {
+				t.Fatalf("snapshot missing scheduler counters:\n%s", base)
+			}
+		})
+	}
+}
+
 // TestDarkCountryFailFast is the regression test for the ready()
 // pre-check spin: against a fully dark country the old loop burned
 // VerifyProbes rotations on every attempt of every sample. The circuit
@@ -308,7 +357,7 @@ func TestBrownoutBackoff(t *testing.T) {
 	var waits []time.Duration
 	pol := RetryPolicy{Sleep: func(d time.Duration) { waits = append(waits, d) }}
 	net := chaosNet(inj)
-	if _, err := openSession(net, cc, slot, pol); err != nil {
+	if _, err := openSession(net, cc, slot, pol, nil); err != nil {
 		t.Fatalf("transient brownout did not clear: %v", err)
 	}
 	if len(waits) == 0 {
@@ -323,7 +372,7 @@ func TestBrownoutBackoff(t *testing.T) {
 	// Permanent blackout: bounded attempts, then a typed error.
 	waits = nil
 	net2 := chaosNet(faults.New(5).Default(permanent))
-	_, err := openSession(net2, cc, slot, pol)
+	_, err := openSession(net2, cc, slot, pol, nil)
 	if err == nil {
 		t.Fatal("blackout session open succeeded")
 	}

@@ -31,6 +31,7 @@ type fetcher struct {
 	client   *http.Client
 	headers  map[string]string
 	keepBody func(status, bodyLen int) bool
+	met      *fetchMetrics
 }
 
 // newFetcher builds a fetcher over rt with the config's header set,
@@ -47,14 +48,20 @@ func newFetcher(ctx context.Context, rt http.RoundTripper, cfg Config) *fetcher 
 		},
 		headers:  cfg.Headers,
 		keepBody: cfg.KeepBody,
+		met:      newFetchMetrics(cfg.Metrics),
 	}
 }
 
 // fetch performs one attempt and classifies the outcome. exit is the
 // address serving the attempt (recorded even on failure, for the load
-// accounting and for replay).
-func (f *fetcher) fetch(domain string, seed uint64, t Task, attempt uint8, exit geo.IP) Sample {
-	s := Sample{Domain: t.Domain, Country: t.Country, Attempt: attempt, Seed: seed, ExitIP: exit}
+// accounting and for replay). The return value is named so the metrics
+// defer observes the final sample whichever path produced it.
+func (f *fetcher) fetch(domain string, seed uint64, t Task, attempt uint8, exit geo.IP) (s Sample) {
+	if f.met != nil {
+		start := f.met.reg.Now()
+		defer func() { f.met.observe(&s, f.met.reg.Now().Sub(start)) }()
+	}
+	s = Sample{Domain: t.Domain, Country: t.Country, Attempt: attempt, Seed: seed, ExitIP: exit}
 
 	ctx := vnet.WithSampleSeed(f.ctx, seed)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+domain+"/", nil)

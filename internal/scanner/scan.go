@@ -8,6 +8,7 @@ import (
 
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
+	"geoblock/internal/telemetry"
 )
 
 // Run measures tasks through the proxy mesh, streaming samples into
@@ -33,20 +34,61 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 		return shardSlot(string(countries[group]), cfg.Phase, index)
 	})
 
+	sp := startScanSpan(cfg)
 	run := func(ctx context.Context, sh *shard) {
+		// One country-span activation per shard: activations merge by
+		// name, so the node's count reads "shards run" and its outcome
+		// tally aggregates per-shard fates.
+		csp := sp.StartSpan(string(countries[sh.group]))
 		sh.out = scanShard(ctx, net, domains, countries, sh, cfg, pol)
+		if sh.lost == OutageNone {
+			csp.Outcome("ok")
+		} else {
+			csp.Outcome(sh.lost.String())
+		}
+		csp.End()
 	}
-	if err := schedule(ctx, shards, cfg.Concurrency, run, sink); err != nil {
+	err := schedule(ctx, shards, cfg.Concurrency, run, sink, cfg.Metrics)
+	sp.End()
+	if err != nil {
 		return err
 	}
-	if os, ok := sink.(OutageSink); ok {
+	os, isOutageSink := sink.(OutageSink)
+	if isOutageSink || cfg.Metrics != nil {
 		outages, cov := accountOutages(shards, countries)
-		for _, o := range outages {
-			os.EmitOutage(o)
+		countOutages(cfg.Metrics, outages, cov)
+		if isOutageSink {
+			for _, o := range outages {
+				os.EmitOutage(o)
+			}
+			os.EmitCoverage(cov)
 		}
-		os.EmitCoverage(cov)
 	}
 	return nil
+}
+
+// startScanSpan opens the engine's "scan/<phase>" span, nesting under
+// cfg.Span when the pipeline provided its phase span as parent.
+func startScanSpan(cfg Config) *telemetry.Span {
+	name := "scan/" + cfg.Phase
+	if cfg.Span != nil {
+		return cfg.Span.StartSpan(name)
+	}
+	return cfg.Metrics.StartSpan(name)
+}
+
+// countOutages mirrors the outage accounting into the registry.
+func countOutages(reg *telemetry.Registry, outages []Outage, cov Coverage) {
+	if reg == nil {
+		return
+	}
+	for _, o := range outages {
+		reg.Counter(telemetry.Label(MetOutages, "reason", o.Reason.String())).Add(1)
+	}
+	reg.Counter(MetOutagesTotal).Add(int64(len(outages)))
+	reg.Counter(MetCovRequested).Add(int64(cov.Requested))
+	reg.Counter(MetCovAttained).Add(int64(cov.Attained))
+	reg.Counter(MetCovTasksLost).Add(int64(cov.TasksLost))
 }
 
 // Scan is the collecting form of Run: it materializes the full Result.
@@ -64,7 +106,7 @@ func scanShard(ctx context.Context, net *proxy.Network, domains []string, countr
 	out := make([]Sample, 0, len(sh.tasks)*cfg.Samples)
 	cc := countries[sh.group]
 
-	se, err := openSession(net, cc, sh.slot, pol)
+	se, err := openSession(net, cc, sh.slot, pol, cfg.Metrics)
 	if err != nil {
 		var brown *proxy.ErrBrownout
 		if errors.As(err, &brown) {

@@ -27,6 +27,7 @@ import (
 
 	"geoblock/internal/geo"
 	"geoblock/internal/stats"
+	"geoblock/internal/telemetry"
 )
 
 // ErrCode classifies a failed sample.
@@ -50,6 +51,12 @@ const (
 	ErrLuminati
 	// ErrNoExits: the country has no usable exits.
 	ErrNoExits
+
+	// errCodeCount is one past the highest ErrCode. The fetcher's
+	// per-code metric counters are indexed by it, and the
+	// exhaustiveness test pins every code below it to a unique String
+	// label — add a code without bumping this and the test fails fast.
+	errCodeCount = int(ErrNoExits) + 1
 )
 
 func (e ErrCode) String() string {
@@ -207,6 +214,16 @@ type Config struct {
 	// injection in benchmarks, or request logging. It must not change
 	// response contents, or the determinism contract breaks.
 	WrapTransport func(http.RoundTripper) http.RoundTripper
+	// Metrics, when non-nil, receives counters, histograms, and phase
+	// spans from every engine layer (see metrics.go for the names).
+	// Instrumentation never influences scan behavior: samples are
+	// byte-identical with or without it.
+	Metrics *telemetry.Registry
+	// Span, when non-nil, is the parent the engine's own scan span
+	// nests under — the pipeline passes its phase span here so the
+	// trace reads pipeline phase → scan phase → country. Nil roots the
+	// scan span at the registry.
+	Span *telemetry.Span
 }
 
 // withDefaults fills zero fields with the §4.1.1 parameters.

@@ -6,6 +6,8 @@ import (
 	"context"
 	"strconv"
 	"sync"
+
+	"geoblock/internal/telemetry"
 )
 
 // shard is one schedulable unit: a contiguous chunk of one group's
@@ -94,6 +96,7 @@ type emitter struct {
 	shards []*shard
 	done   []bool
 	next   int
+	reg    *telemetry.Registry
 }
 
 func (e *emitter) complete(sh *shard) {
@@ -105,6 +108,14 @@ func (e *emitter) complete(sh *shard) {
 		for i := range ready.out {
 			e.sink.Emit(ready.out[i])
 		}
+		if e.reg != nil {
+			var bytes int64
+			for i := range ready.out {
+				bytes += int64(ready.out[i].BodyLen)
+			}
+			e.reg.Counter(MetSinkSamples).Add(int64(len(ready.out)))
+			e.reg.Counter(MetSinkBytes).Add(bytes)
+		}
 		ready.out = nil // release bodies as soon as the sink has seen them
 		e.next++
 	}
@@ -114,7 +125,7 @@ func (e *emitter) complete(sh *shard) {
 // completed shards to sink in canonical order. run must fill sh.out.
 // On context cancellation workers stop picking up shards and schedule
 // returns ctx.Err(); already-emitted samples are not retracted.
-func schedule(ctx context.Context, shards []*shard, workers int, run func(context.Context, *shard), sink Sink) error {
+func schedule(ctx context.Context, shards []*shard, workers int, run func(context.Context, *shard), sink Sink, reg *telemetry.Registry) error {
 	if len(shards) == 0 {
 		return ctx.Err()
 	}
@@ -124,6 +135,12 @@ func schedule(ctx context.Context, shards []*shard, workers int, run func(contex
 	if workers < 1 {
 		workers = 1
 	}
+	reg.Counter(MetShardsScheduled).Add(int64(len(shards)))
+	// Steal counts and the worker gauge depend on scheduling, so they
+	// are runtime-class; everything else here is deterministic.
+	reg.RuntimeGauge(MetWorkers).Set(int64(workers))
+	steals := reg.RuntimeCounter(MetSteals)
+	shardsDone := reg.Counter(MetShardsDone)
 
 	// Round-robin distribution: shard i starts on worker i%workers, so
 	// a giant country's chunks are spread across the pool from the
@@ -137,7 +154,7 @@ func schedule(ctx context.Context, shards []*shard, workers int, run func(contex
 		d.shards = append(d.shards, sh)
 	}
 
-	em := &emitter{sink: sink, shards: shards, done: make([]bool, len(shards))}
+	em := &emitter{sink: sink, shards: shards, done: make([]bool, len(shards)), reg: reg}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -153,11 +170,15 @@ func schedule(ctx context.Context, shards []*shard, workers int, run func(contex
 					for off := 1; off < workers && sh == nil; off++ {
 						sh = deques[(w+off)%workers].stealBack()
 					}
+					if sh != nil {
+						steals.Add(1)
+					}
 				}
 				if sh == nil {
 					return // pool drained: the shard set is static
 				}
 				run(ctx, sh)
+				shardsDone.Add(1)
 				em.complete(sh)
 			}
 		}(w)

@@ -10,6 +10,7 @@ import (
 
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
+	"geoblock/internal/telemetry"
 )
 
 // DefaultVerifyProbes bounds the connectivity pre-check loop on a
@@ -63,28 +64,37 @@ type session struct {
 	s   *proxy.Session
 	pol RetryPolicy
 	h   health
+	reg *telemetry.Registry
 }
 
 // openSession acquires a sticky session for cc starting at the
 // deterministic slot. Superproxy brownouts are retried under
 // decorrelated-jitter backoff (they clear); every other failure —
-// ErrNoExits above all — is final.
-func openSession(net *proxy.Network, cc geo.CountryCode, slot uint64, pol RetryPolicy) (*session, error) {
+// ErrNoExits above all — is final. reg (nil-safe) tallies attempts,
+// brownouts, and the computed backoff waits.
+func openSession(net *proxy.Network, cc geo.CountryCode, slot uint64, pol RetryPolicy, reg *telemetry.Registry) (*session, error) {
 	pol = pol.withDefaults()
 	bo := newBackoff(slot, pol.Sleep)
 	var lastErr error
 	for attempt := 0; attempt <= pol.OpenRetries; attempt++ {
+		reg.Counter(MetOpenAttempts).Add(1)
 		s, err := net.NewSessionAttempt(cc, slot, attempt)
 		if err == nil {
-			return &session{s: s, pol: pol}, nil
+			return &session{s: s, pol: pol, reg: reg}, nil
 		}
 		lastErr = err
 		var brown *proxy.ErrBrownout
 		if !errors.As(err, &brown) {
 			return nil, err
 		}
+		reg.Counter(MetBrownouts).Add(1)
 		if attempt < pol.OpenRetries {
-			bo.wait()
+			d := bo.wait()
+			// The schedule is a pure function of the slot, so the
+			// histogram is deterministic-class even though it records
+			// durations.
+			reg.Histogram(MetBackoff, 0, float64(backoffCap/time.Millisecond), 16).
+				Observe(float64(d) / float64(time.Millisecond))
 		}
 	}
 	return nil, lastErr
@@ -102,6 +112,7 @@ func (se *session) ready(seed uint64) bool {
 	}
 	if se.s.Used() >= se.pol.RequestsPerExit {
 		se.s.Rotate()
+		se.reg.Counter(MetRotations).Add(1)
 	}
 	if se.pol.VerifyConnectivity && se.s.Used() == 0 {
 		probes := se.pol.VerifyProbes
@@ -110,6 +121,7 @@ func (se *session) ready(seed uint64) bool {
 		}
 		found := false
 		for probe := 0; probe < probes; probe++ {
+			se.reg.Counter(MetProbes).Add(1)
 			if _, _, err := se.s.Verify(seed + uint64(probe)); err == nil {
 				found = true
 				break
@@ -118,15 +130,24 @@ func (se *session) ready(seed uint64) bool {
 		}
 		if found {
 			se.h.success()
-		} else if se.h.failedSweep(se.pol.BreakerSweeps) {
-			return false
+		} else {
+			se.reg.Counter(MetFailedSweeps).Add(1)
+			if se.h.failedSweep(se.pol.BreakerSweeps) {
+				if se.h.dead {
+					se.reg.Counter(MetBreakerTrips).Add(1)
+				}
+				return false
+			}
 		}
 	}
 	return true
 }
 
 // rotate abandons the current exit (after a failed attempt).
-func (se *session) rotate() { se.s.Rotate() }
+func (se *session) rotate() {
+	se.s.Rotate()
+	se.reg.Counter(MetRotations).Add(1)
+}
 
 // dark reports whether the circuit breaker wrote the country off.
 func (se *session) dark() bool { return se.h.dead }
@@ -145,6 +166,9 @@ func (se *session) transport() *proxy.Session { return se.s }
 func fetchReliable(f *fetcher, se *session, domain string, seed uint64, t Task, attempt uint8) Sample {
 	var last Sample
 	for try := 0; try <= se.pol.Retries; try++ {
+		if try > 0 {
+			se.reg.Counter(MetRetries).Add(1)
+		}
 		if !se.ready(seed) {
 			return Sample{Domain: t.Domain, Country: t.Country, Attempt: attempt, Err: ErrNoExits}
 		}

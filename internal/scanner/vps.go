@@ -31,10 +31,16 @@ func RunVPS(ctx context.Context, fleet []*proxy.VPS, domains []string, tasks []T
 	}
 	shards := buildShards(byVPS, cfg.ShardSize, func(int16, int) uint64 { return 0 })
 
+	sp := startScanSpan(cfg)
 	run := func(ctx context.Context, sh *shard) {
+		csp := sp.StartSpan(string(fleet[sh.group].Country))
 		sh.out = scanVPSShard(ctx, fleet[sh.group], domains, sh, cfg)
+		csp.Outcome("ok") // no session layer: a VPS shard cannot be lost
+		csp.End()
 	}
-	return schedule(ctx, shards, cfg.Concurrency, run, sink)
+	err := schedule(ctx, shards, cfg.Concurrency, run, sink, cfg.Metrics)
+	sp.End()
+	return err
 }
 
 // ScanVPS is the collecting form of RunVPS over the full cross

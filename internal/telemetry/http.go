@@ -1,0 +1,48 @@
+// HTTP surfaces: /debug/metrics (text, or JSON with ?format=json) and
+// the net/http/pprof handlers, attachable to any mux (worldd's main
+// mux, or the standalone server behind the scan CLIs' -metrics flag).
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the registry's live snapshot: plain text by default,
+// indented JSON with ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			b, err := snap.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(b)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+	})
+}
+
+// AttachDebug registers /debug/metrics and the pprof handlers on mux.
+func AttachDebug(mux *http.ServeMux, r *Registry) {
+	mux.Handle("/debug/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// MetricsServer returns an unstarted HTTP server on addr exposing
+// /debug/metrics and pprof for r. The caller owns its lifecycle.
+func MetricsServer(addr string, r *Registry) *http.Server {
+	mux := http.NewServeMux()
+	AttachDebug(mux, r)
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+}

@@ -1,0 +1,51 @@
+// Periodic progress reporting for the CLIs: a goroutine that prints
+// line() to w on every tick until stopped. The ticker is the only
+// wall-time dependency and lives outside the metric path, so it never
+// touches snapshot determinism; runProgress is split out so tests can
+// drive the loop from a plain channel instead of real time.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StartProgress emits line() to w every interval until the returned
+// stop function is called. stop blocks until the reporter goroutine has
+// exited and is safe to call more than once. A non-positive interval
+// defaults to two seconds.
+func StartProgress(w io.Writer, every time.Duration, line func() string) (stop func()) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	t := time.NewTicker(every)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runProgress(w, t.C, done, line)
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.Stop()
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// runProgress is the reporter loop, factored over a plain tick channel.
+func runProgress(w io.Writer, ticks <-chan time.Time, done <-chan struct{}, line func() string) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticks:
+			fmt.Fprintln(w, line())
+		}
+	}
+}

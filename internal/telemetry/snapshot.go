@@ -1,0 +1,307 @@
+// Snapshot export. A Snapshot is a point-in-time copy of a Registry
+// flattened into sorted slices — no maps survive into the export, so
+// both the text and JSON encodings are deterministic byte for byte.
+// Deterministic() further strips runtime-class metrics and zeroes span
+// durations, producing the view that must be identical across
+// Concurrency levels under the engine's determinism contract.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metric is one exported counter or gauge value.
+type Metric struct {
+	Name    string `json:"name"`
+	Value   int64  `json:"value"`
+	Runtime bool   `json:"runtime,omitempty"`
+}
+
+// HistogramStats exports one histogram: bin counts over [Min, Max),
+// the observation total, how many observations fell outside the range,
+// and the integer-truncated sum.
+type HistogramStats struct {
+	Name       string  `json:"name"`
+	Min        float64 `json:"min"`
+	Max        float64 `json:"max"`
+	Counts     []int   `json:"counts"`
+	Total      int     `json:"total"`
+	OutOfRange int     `json:"out_of_range"`
+	Sum        int64   `json:"sum"`
+	Runtime    bool    `json:"runtime,omitempty"`
+}
+
+// SpanStats exports one span-tree node: activation count, total
+// duration in microseconds, outcome tallies, and children — all sorted
+// by name.
+type SpanStats struct {
+	Name        string        `json:"name"`
+	Count       int64         `json:"count"`
+	TotalMicros int64         `json:"total_micros"`
+	Outcomes    []OutcomeStat `json:"outcomes,omitempty"`
+	Children    []SpanStats   `json:"children,omitempty"`
+}
+
+// OutcomeStat is one outcome-key tally on a span node.
+type OutcomeStat struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot is a registry export. All slices are sorted by name, so two
+// snapshots of registries that recorded the same events encode to the
+// same bytes.
+type Snapshot struct {
+	Counters   []Metric         `json:"counters"`
+	Gauges     []Metric         `json:"gauges"`
+	Histograms []HistogramStats `json:"histograms"`
+	Spans      []SpanStats      `json:"spans"`
+}
+
+// Snapshot exports the registry's current state. Safe to call while a
+// scan is running; each metric is read atomically (the snapshot as a
+// whole is not one consistent cut, which only matters mid-run).
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return &Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := &Snapshot{}
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := r.counters[name]
+		snap.Counters = append(snap.Counters, Metric{Name: name, Value: c.v.Load(), Runtime: c.runtime})
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := r.gauges[name]
+		snap.Gauges = append(snap.Gauges, Metric{Name: name, Value: g.v.Load(), Runtime: g.runtime})
+	}
+
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap.Histograms = append(snap.Histograms, r.hists[name].export(name))
+	}
+
+	snap.Spans = exportChildren(r.root)
+	return snap
+}
+
+func (h *Histogram) export(name string) HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts := make([]int, len(h.h.Counts))
+	copy(counts, h.h.Counts)
+	in := 0
+	for _, c := range counts {
+		in += c
+	}
+	return HistogramStats{
+		Name:       name,
+		Min:        h.h.Min,
+		Max:        h.h.Max,
+		Counts:     counts,
+		Total:      h.h.Total(),
+		OutOfRange: h.h.Total() - in,
+		Sum:        h.sum,
+		Runtime:    h.runtime,
+	}
+}
+
+// exportChildren flattens a node's children, sorted by name.
+func exportChildren(n *node) []SpanStats {
+	type kid struct {
+		name string
+		n    *node
+	}
+	n.mu.Lock()
+	kids := make([]kid, 0, len(n.children))
+	for name, c := range n.children {
+		kids = append(kids, kid{name, c})
+	}
+	n.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool { return kids[i].name < kids[j].name })
+	var out []SpanStats
+	for _, k := range kids {
+		out = append(out, exportNode(k.name, k.n))
+	}
+	return out
+}
+
+func exportNode(name string, n *node) SpanStats {
+	n.mu.Lock()
+	s := SpanStats{Name: name, Count: n.count, TotalMicros: n.total.Microseconds()}
+	outs := make([]OutcomeStat, 0, len(n.outcomes))
+	for k, v := range n.outcomes {
+		outs = append(outs, OutcomeStat{Key: k, Count: v})
+	}
+	n.mu.Unlock()
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Key < outs[j].Key })
+	if len(outs) > 0 {
+		s.Outcomes = outs
+	}
+	s.Children = exportChildren(n)
+	return s
+}
+
+// Deterministic returns a copy with runtime-class metrics removed and
+// all span durations zeroed: exactly the content that the determinism
+// contract promises is identical at any Concurrency. The chaos matrix
+// byte-compares this view across schedules.
+func (s *Snapshot) Deterministic() *Snapshot {
+	out := &Snapshot{}
+	for _, m := range s.Counters {
+		if !m.Runtime {
+			out.Counters = append(out.Counters, m)
+		}
+	}
+	for _, m := range s.Gauges {
+		if !m.Runtime {
+			out.Gauges = append(out.Gauges, m)
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Runtime {
+			continue
+		}
+		hc := h
+		hc.Counts = append([]int(nil), h.Counts...)
+		out.Histograms = append(out.Histograms, hc)
+	}
+	out.Spans = zeroDurations(s.Spans)
+	return out
+}
+
+func zeroDurations(spans []SpanStats) []SpanStats {
+	out := make([]SpanStats, len(spans))
+	for i, s := range spans {
+		s.TotalMicros = 0
+		s.Outcomes = append([]OutcomeStat(nil), s.Outcomes...)
+		s.Children = zeroDurations(s.Children)
+		out[i] = s
+	}
+	return out
+}
+
+// WriteText writes the snapshot in its plain-text form: one metric per
+// line grouped into sections, spans as an indented tree.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# counters\n")
+	writeMetrics(&b, s.Counters)
+	b.WriteString("\n# gauges\n")
+	writeMetrics(&b, s.Gauges)
+	b.WriteString("\n# histograms\n")
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%s [%s,%s) total=%d oor=%d sum=%d bins=", h.Name,
+			trimFloat(h.Min), trimFloat(h.Max), h.Total, h.OutOfRange, h.Sum)
+		for i, c := range h.Counts {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(c))
+		}
+		if h.Runtime {
+			b.WriteString(" (runtime)")
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\n# spans\n")
+	writeSpans(&b, s.Spans, 0)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text returns the plain-text form as a string.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	_ = s.WriteText(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// JSON returns the indented JSON form with a trailing newline.
+func (s *Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the snapshot to path: JSON when the name ends in
+// ".json", text otherwise.
+func (s *Snapshot) WriteFile(path string) error {
+	var data []byte
+	if strings.HasSuffix(path, ".json") {
+		b, err := s.JSON()
+		if err != nil {
+			return err
+		}
+		data = b
+	} else {
+		data = []byte(s.Text())
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func writeMetrics(b *strings.Builder, ms []Metric) {
+	for _, m := range ms {
+		b.WriteString(m.Name)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(m.Value, 10))
+		if m.Runtime {
+			b.WriteString(" (runtime)")
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func writeSpans(b *strings.Builder, spans []SpanStats, depth int) {
+	for _, s := range spans {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(b, "%s n=%d total=%s", s.Name, s.Count,
+			(time.Duration(s.TotalMicros) * time.Microsecond).String())
+		for i, o := range s.Outcomes {
+			if i == 0 {
+				b.WriteString(" [")
+			} else {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "%s=%d", o.Key, o.Count)
+			if i == len(s.Outcomes)-1 {
+				b.WriteByte(']')
+			}
+		}
+		b.WriteByte('\n')
+		writeSpans(b, s.Children, depth+1)
+	}
+}
+
+// trimFloat renders a bucket bound without trailing zeros (8000, 0.5).
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
