@@ -11,8 +11,12 @@
 #   make race    race-detector pass over every package (the chaos and
 #                scheduler suites exercise the concurrent scan path)
 #   make cover   coverage with ratcheted floors for the scan engine, the
-#                fault-injection layer, the telemetry layer, and the
-#                lint suite
+#                fault-injection layer, the telemetry layer, the journal
+#                (runstore), and the lint suite
+#   make fuzz    short-budget fuzz pass over the hostile-input decoders:
+#                the journal's record decoder and the blockpage signature
+#                matcher (one `go test -fuzz` invocation per package; the
+#                corpus seeds still run under plain `make check`)
 #   make bench   the scan engine benchmarks (collect vs streaming,
 #                sharded vs one-worker-per-country, instrumented vs bare)
 #   make profile the streaming scan benchmark under the CPU and memory
@@ -20,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: check lint race cover bench profile
+.PHONY: check lint race cover fuzz bench profile
 
 check:
 	$(GO) build ./...
@@ -46,12 +50,22 @@ cover:
 	    || { echo "FAIL: coverage for $$1 fell below the ratcheted floor of $$2%"; exit 1; }; \
 	}; \
 	check ./internal/scanner 85; \
-	check ./internal/faults 88; \
+	check ./internal/faults 92; \
 	check ./internal/lint 87; \
-	check ./internal/telemetry 94
+	check ./internal/telemetry 94; \
+	check ./internal/runstore 87
+
+# `go test -fuzz` takes exactly one fuzz target per invocation, so each
+# decoder gets its own line. The budget is deliberately small: this is a
+# smoke pass to catch freshly broken invariants, not a campaign.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test ./internal/runstore -run FuzzDecodeRecord -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/blockpage -run FuzzMatchSignature -fuzz FuzzMatchSignature -fuzztime $(FUZZTIME)
 
 bench:
-	$(GO) test . -run xxx -bench 'BenchmarkScan(Collect|Streaming|SkewedSharded|Instrumented)' -benchtime 3x
+	$(GO) test . -run xxx -bench 'BenchmarkScan(Collect|Streaming|SkewedSharded|Instrumented|ColdVsResume)' -benchtime 3x
 
 profile:
 	$(GO) test . -run xxx -bench 'BenchmarkScanStreaming' -benchtime 10x \

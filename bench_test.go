@@ -29,6 +29,7 @@ import (
 	"geoblock/internal/ooni"
 	"geoblock/internal/outlier"
 	"geoblock/internal/proxy"
+	"geoblock/internal/runstore"
 	"geoblock/internal/stats"
 	"geoblock/internal/telemetry"
 	"geoblock/internal/textfeat"
@@ -877,4 +878,48 @@ func BenchmarkScanSkewedSharded(b *testing.B) {
 	b.ReportMetric(sharded.Seconds()/float64(b.N), "sharded-sec/op")
 	b.ReportMetric(monolithic.Seconds()/float64(b.N), "monolithic-sec/op")
 	b.ReportMetric(monolithic.Seconds()/sharded.Seconds(), "speedup")
+}
+
+// BenchmarkScanColdVsResume prices the journal's core promise: a cold
+// run fetches everything while journaling it, and a resumed run over
+// the finished journal replays the identical samples from disk with
+// zero fetching. cold-sec/op is the journaling run (the fsync and
+// encode overhead rides along), resume-sec/op is recovery plus replay,
+// and replay-speedup is how much cheaper re-materializing a completed
+// phase is than scanning it again.
+func BenchmarkScanColdVsResume(b *testing.B) {
+	net, domains, countries, tasks := scanBenchWorld(b)
+	sink := lumscan.SinkFunc(func(lumscan.Sample) {})
+	run := func(dir string) time.Duration {
+		st, err := runstore.Open(dir, runstore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		start := time.Now() //geolint:allow determinism benchmarking wall time
+		err = st.Scan(runstore.Scan{
+			Key:         "bench-engine",
+			Fingerprint: 403,
+			Cfg:         scanBenchConfig(),
+			Sink:        sink,
+			Run: func(cfg lumscan.Config, s lumscan.Sink) error {
+				return lumscan.ScanStream(context.Background(), net, domains, countries, tasks, cfg, s)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start) //geolint:allow determinism benchmarking wall time
+	}
+	run(b.TempDir()) // warm the world's lazy caches off the clock
+	var cold, resume time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		cold += run(dir)   // fresh journal: fetch everything, journal it
+		resume += run(dir) // finished journal: recover, replay, fetch nothing
+	}
+	b.ReportMetric(cold.Seconds()/float64(b.N), "cold-sec/op")
+	b.ReportMetric(resume.Seconds()/float64(b.N), "resume-sec/op")
+	b.ReportMetric(cold.Seconds()/resume.Seconds(), "replay-speedup")
 }

@@ -40,6 +40,8 @@ func main() {
 	faultCountry := flag.String("faultcountry", "", "restrict the chaos profile to one country code (default: all)")
 	metricsAddr := flag.String("metrics", "", "serve /debug/metrics (and pprof) on this address while the study runs")
 	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this file (.json for JSON, else text)")
+	storeDir := flag.String("store", "", "journal every scan phase to this directory (crash-safe; see -resume)")
+	resume := flag.Bool("resume", false, "resume an interrupted run from the -store journal instead of refusing it")
 	flag.Parse()
 
 	// Ctrl-C cancels in-flight scans; studies then return partial
@@ -50,7 +52,23 @@ func main() {
 	// Studies driven from the CLI report real elapsed time in their
 	// phase spans, and the registry backs the live endpoints below.
 	reg := telemetry.NewWithClock(telemetry.Wall{})
-	opts := geoblock.Options{Seed: *seed, Scale: *scale, Ctx: ctx, Metrics: reg}
+
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "geoscan: -resume requires -store")
+		os.Exit(2)
+	}
+	var store *geoblock.RunStore
+	if *storeDir != "" {
+		st, err := openStore(*storeDir, *resume, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geoscan: %v\n", err)
+			os.Exit(2)
+		}
+		defer st.Close()
+		store = st
+	}
+
+	opts := geoblock.Options{Seed: *seed, Scale: *scale, Ctx: ctx, Metrics: reg, Store: store}
 	if *verbose {
 		opts.Log = func(format string, args ...any) {
 			log.Printf(format, args...)
@@ -170,4 +188,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "geoscan: metrics-out: %v\n", err)
 		}
 	}
+}
+
+// openStore opens the run journal, refusing to silently extend an
+// existing one: a journal that already holds phases is only reopened
+// under -resume, so a mistyped -store directory can't splice two runs.
+func openStore(dir string, resume bool, reg *telemetry.Registry) (*geoblock.RunStore, error) {
+	st, err := geoblock.OpenRunStore(dir, geoblock.RunStoreOptions{Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	if phases := st.Phases(); len(phases) > 0 && !resume {
+		st.Close()
+		return nil, fmt.Errorf("%s already holds a journal (%d phases); pass -resume to continue it, or point -store at a fresh directory", dir, len(phases))
+	}
+	if resume {
+		var done, shards int
+		for _, ph := range st.Phases() {
+			if ph.Done {
+				done++
+			}
+			shards += ph.Shards
+		}
+		fmt.Fprintf(os.Stderr, "geoscan: resuming from %s: %d phases journaled (%d complete, %d shards checkpointed)\n",
+			dir, len(st.Phases()), done, shards)
+	}
+	return st, nil
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,6 +27,8 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/lumscan"
 	"geoblock/internal/proxy"
+	"geoblock/internal/runstore"
+	"geoblock/internal/stats"
 	"geoblock/internal/telemetry"
 )
 
@@ -42,6 +45,8 @@ func main() {
 	faultCountry := flag.String("faultcountry", "", "restrict the chaos profile to one country code (default: all)")
 	metricsAddr := flag.String("metrics", "", "serve /debug/metrics (and pprof) on this address while the scan runs")
 	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this file (.json for JSON, else text)")
+	storeDir := flag.String("store", "", "journal the scan to this directory (crash-safe; see -resume)")
+	resume := flag.Bool("resume", false, "resume an interrupted scan from the -store journal instead of refusing it")
 	flag.Parse()
 
 	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale})
@@ -114,6 +119,30 @@ func main() {
 		cfg.Headers = lumscan.ZGrabHeaders()
 	}
 
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "lumscan: -resume requires -store")
+		os.Exit(2)
+	}
+	var store *runstore.Store
+	if *storeDir != "" {
+		st, oerr := runstore.Open(*storeDir, runstore.Options{Metrics: reg})
+		if oerr != nil {
+			fmt.Fprintf(os.Stderr, "lumscan: %v\n", oerr)
+			os.Exit(2)
+		}
+		if info, ok := st.Phase("cli"); ok && !*resume {
+			st.Close()
+			fmt.Fprintf(os.Stderr, "lumscan: %s already holds a journal (%d shards checkpointed); pass -resume to continue it, or point -store at a fresh directory\n",
+				*storeDir, info.Shards)
+			os.Exit(2)
+		} else if ok {
+			fmt.Fprintf(os.Stderr, "lumscan: resuming from %s: %d shards / %d samples journaled\n",
+				*storeDir, info.Shards, info.Samples)
+		}
+		defer st.Close()
+		store = st
+	}
+
 	// Stream results as shards complete (canonical order is preserved
 	// by the engine), and let Ctrl-C cancel a long run cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -123,27 +152,41 @@ func main() {
 	})
 	fmt.Printf("%-28s %-4s %-3s %-8s %-6s %-16s %s\n",
 		"DOMAIN", "CC", "N", "STATUS", "BYTES", "EXIT", "PAGE")
-	err := lumscan.ScanStream(ctx, net, domains, countries,
-		lumscan.CrossProduct(len(domains), len(countries)), cfg,
-		&cliSink{emit: func(s lumscan.Sample) {
-			domain := domains[s.Domain]
-			cc := countries[s.Country]
-			if !s.OK() {
-				if *showErrors {
-					fmt.Printf("%-28s %-4s %-3d %-8s %-6s %-16s -\n",
-						domain, cc, s.Attempt, "ERR", "-", s.Err)
-				}
-				return
+	tasks := lumscan.CrossProduct(len(domains), len(countries))
+	sink := &cliSink{emit: func(s lumscan.Sample) {
+		domain := domains[s.Domain]
+		cc := countries[s.Country]
+		if !s.OK() {
+			if *showErrors {
+				fmt.Printf("%-28s %-4s %-3d %-8s %-6s %-16s -\n",
+					domain, cc, s.Attempt, "ERR", "-", s.Err)
 			}
-			page := "-"
-			if s.Body != "" {
-				if k := cls.Classify(s.Body); k != 0 {
-					page = k.String()
-				}
+			return
+		}
+		page := "-"
+		if s.Body != "" {
+			if k := cls.Classify(s.Body); k != 0 {
+				page = k.String()
 			}
-			fmt.Printf("%-28s %-4s %-3d %-8d %-6d %-16s %s\n",
-				domain, cc, s.Attempt, s.Status, s.BodyLen, s.ExitIP, page)
-		}})
+		}
+		fmt.Printf("%-28s %-4s %-3d %-8d %-6d %-16s %s\n",
+			domain, cc, s.Attempt, s.Status, s.BodyLen, s.ExitIP, page)
+	}}
+	runScan := func(cfg lumscan.Config, sk lumscan.Sink) error {
+		return lumscan.ScanStream(ctx, net, domains, countries, tasks, cfg, sk)
+	}
+	var err error
+	if store != nil {
+		err = store.Scan(runstore.Scan{
+			Key:         "cli",
+			Fingerprint: scanFingerprint(*seed, *scale, domains, countries, *samples, *zgrab),
+			Cfg:         cfg,
+			Sink:        sink,
+			Run:         runScan,
+		})
+	} else {
+		err = runScan(cfg, sink)
+	}
 	stopProgress()
 	if *metricsOut != "" {
 		if werr := reg.Snapshot().WriteFile(*metricsOut); werr != nil {
@@ -176,6 +219,35 @@ func (c *cliSink) EmitCoverage(cov lumscan.Coverage) {
 	}
 	fmt.Fprintf(os.Stderr, "lumscan: coverage %d/%d countries attained (%d tasks lost; lost: %s)\n",
 		cov.Attained, cov.Requested, cov.TasksLost, joinCountries(cov.Lost))
+}
+
+// scanFingerprint digests the scan's identity for the journal, so a
+// -store directory reused with different inputs errors instead of
+// splicing two different scans. Concurrency is deliberately absent.
+func scanFingerprint(seed uint64, scale float64, domains []string, countries []geo.CountryCode, samples int, zgrab bool) uint64 {
+	h := fnv("lumscan-cli")
+	h = stats.Mix64(h ^ seed)
+	h = stats.Mix64(h ^ math.Float64bits(scale))
+	for _, d := range domains {
+		h = stats.Mix64(h ^ fnv(d))
+	}
+	for _, c := range countries {
+		h = stats.Mix64(h ^ fnv(string(c)))
+	}
+	h = stats.Mix64(h ^ uint64(samples))
+	if zgrab {
+		h = stats.Mix64(h ^ 1)
+	}
+	return h
+}
+
+func fnv(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 func joinCountries(ccs []geo.CountryCode) string {

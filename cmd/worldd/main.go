@@ -42,59 +42,7 @@ func main() {
 	// clock; /debug/metrics serves the live registry.
 	reg := telemetry.NewWithClock(telemetry.Wall{})
 	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale, Metrics: reg})
-
-	mux := http.NewServeMux()
-	mux.Handle("/", vnet.Handler(sys.World))
-	mux.HandleFunc("/domains", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "# geoblocking domains in the simulated Top 10K (ground truth)")
-		for _, d := range sys.World.Top10K() {
-			if len(d.GeoRules) == 0 && !d.AirbnbStyle && !d.GAEHosted {
-				continue
-			}
-			fmt.Fprintf(w, "%s\tproviders=%v", d.Name, d.Providers)
-			ruled := make([]string, 0, len(d.GeoRules))
-			for p := range d.GeoRules {
-				ruled = append(ruled, string(p))
-			}
-			sort.Strings(ruled)
-			for _, p := range ruled {
-				rule := d.GeoRules[worldgen.Provider(p)]
-				fmt.Fprintf(w, "\t%s:%s=%v", p, rule.Action, rule.CountryList())
-			}
-			if d.GAEHosted {
-				fmt.Fprintf(w, "\tGAE-platform-block")
-			}
-			if d.AirbnbStyle {
-				fmt.Fprintf(w, "\tairbnb-policy")
-			}
-			fmt.Fprintln(w)
-		}
-	})
-
-	mux.HandleFunc("/gallery", func(w http.ResponseWriter, r *http.Request) {
-		kind := r.URL.Query().Get("page")
-		if kind == "" {
-			fmt.Fprintln(w, "# one sample render per block-page class; fetch /gallery?page=<name>")
-			for _, k := range append(blockpage.Kinds(), blockpage.Censorship) {
-				fmt.Fprintln(w, k)
-			}
-			return
-		}
-		for _, k := range append(blockpage.Kinds(), blockpage.Censorship) {
-			if k.String() == kind {
-				w.Header().Set("Content-Type", "text/html; charset=utf-8")
-				w.WriteHeader(k.Status())
-				fmt.Fprint(w, blockpage.Render(k, blockpage.Vars{
-					Domain: "gallery.example.com", ClientIP: "203.0.113.7",
-					CountryName: "Iran", RayID: "44bfa65f2a8c2b91", Nonce: "f3a9c1d0",
-				}))
-				return
-			}
-		}
-		http.Error(w, "unknown page class: "+kind, http.StatusNotFound)
-	})
-
-	telemetry.AttachDebug(mux, reg)
+	mux := newMux(sys, reg)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -124,6 +72,85 @@ func main() {
 		}
 		log.Printf("worldd: shut down cleanly")
 	}
+}
+
+// newMux builds the daemon's routing table. Factored out of main so
+// tests can drive it through httptest without a listener.
+func newMux(sys *geoblock.System, reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", getOnly(vnet.Handler(sys.World)))
+	mux.Handle("/domains", getOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "# geoblocking domains in the simulated Top 10K (ground truth)")
+		for _, d := range sys.World.Top10K() {
+			if len(d.GeoRules) == 0 && !d.AirbnbStyle && !d.GAEHosted {
+				continue
+			}
+			fmt.Fprintf(w, "%s\tproviders=%v", d.Name, d.Providers)
+			ruled := make([]string, 0, len(d.GeoRules))
+			for p := range d.GeoRules {
+				ruled = append(ruled, string(p))
+			}
+			sort.Strings(ruled)
+			for _, p := range ruled {
+				rule := d.GeoRules[worldgen.Provider(p)]
+				fmt.Fprintf(w, "\t%s:%s=%v", p, rule.Action, rule.CountryList())
+			}
+			if d.GAEHosted {
+				fmt.Fprintf(w, "\tGAE-platform-block")
+			}
+			if d.AirbnbStyle {
+				fmt.Fprintf(w, "\tairbnb-policy")
+			}
+			fmt.Fprintln(w)
+		}
+	})))
+
+	// Liveness probe: always 200, no world access, so orchestration
+	// health checks stay cheap and method-agnostic tooling (HEAD) works.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/gallery", func(w http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("page")
+		if kind == "" {
+			fmt.Fprintln(w, "# one sample render per block-page class; fetch /gallery?page=<name>")
+			for _, k := range append(blockpage.Kinds(), blockpage.Censorship) {
+				fmt.Fprintln(w, k)
+			}
+			return
+		}
+		for _, k := range append(blockpage.Kinds(), blockpage.Censorship) {
+			if k.String() == kind {
+				w.Header().Set("Content-Type", "text/html; charset=utf-8")
+				w.WriteHeader(k.Status())
+				fmt.Fprint(w, blockpage.Render(k, blockpage.Vars{
+					Domain: "gallery.example.com", ClientIP: "203.0.113.7",
+					CountryName: "Iran", RayID: "44bfa65f2a8c2b91", Nonce: "f3a9c1d0",
+				}))
+				return
+			}
+		}
+		http.Error(w, "unknown page class: "+kind, http.StatusNotFound)
+	})
+
+	telemetry.AttachDebug(mux, reg)
+	return mux
+}
+
+// getOnly rejects non-read methods with 405 (and an Allow header)
+// instead of letting read-only endpoints answer a POST with 200 — the
+// world and domain listings are pure views, and answering writes as if
+// they succeeded confuses probing tools.
+func getOnly(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // countRequests tallies served requests by coarse path class so the

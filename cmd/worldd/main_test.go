@@ -1,0 +1,74 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"geoblock"
+	"geoblock/internal/telemetry"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := telemetry.New()
+	sys := geoblock.New(geoblock.Options{Scale: 0.02, Metrics: reg})
+	srv := httptest.NewServer(countRequests(reg, newMux(sys, reg)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: status %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "ok\n" {
+		t.Fatalf("GET /healthz: body %q, want %q", body, "ok\n")
+	}
+}
+
+func TestReadOnlyEndpointsRejectWrites(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{"/?host=example.com&from=US", "/domains"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			req, err := http.NewRequest(method, srv.URL+path, strings.NewReader("x"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+				t.Errorf("%s %s: Allow %q, want %q", method, path, allow, "GET, HEAD")
+			}
+		}
+	}
+}
+
+func TestGetStillServes(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{"/domains", "/gallery"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

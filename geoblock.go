@@ -28,6 +28,7 @@ import (
 	"geoblock/internal/ooni"
 	"geoblock/internal/pipeline"
 	"geoblock/internal/proxy"
+	"geoblock/internal/runstore"
 	"geoblock/internal/telemetry"
 	"geoblock/internal/worldgen"
 )
@@ -67,7 +68,24 @@ type (
 	RegionalFinding = pipeline.RegionalFinding
 	// CountryCode is an ISO 3166-1 alpha-2 country code.
 	CountryCode = geo.CountryCode
+	// RunStore is a crash-safe journal of scan samples and checkpoints;
+	// attach one via Options.Store to make a study resumable.
+	RunStore = runstore.Store
+	// RunStoreOptions tunes a RunStore (segment size, metrics, and the
+	// chaos crash hook).
+	RunStoreOptions = runstore.Options
+	// RunStorePhase is the journaled state of one study phase.
+	RunStorePhase = runstore.PhaseInfo
 )
+
+// OpenRunStore opens (or creates) a run journal in dir, recovering
+// from any crash-torn tail. Attach the store via Options.Store and a
+// study will journal every scan phase; reopening the same directory
+// with the same study configuration resumes where the last run died,
+// replaying completed work from disk instead of refetching it.
+func OpenRunStore(dir string, opts RunStoreOptions) (*RunStore, error) {
+	return runstore.Open(dir, opts)
+}
 
 // Options configures a System.
 type Options struct {
@@ -92,6 +110,10 @@ type Options struct {
 	// live /debug/metrics view inject telemetry.NewWithClock(telemetry.Wall{})
 	// here; leaving it nil keeps snapshots deterministic.
 	Metrics *telemetry.Registry
+	// Store, when non-nil, journals every scan phase to disk and
+	// resumes interrupted studies from their checkpoints (see
+	// OpenRunStore). Results are byte-identical with or without it.
+	Store *RunStore
 }
 
 // System is a simulated Internet plus the measurement apparatus over
@@ -124,6 +146,7 @@ func New(opts Options) *System {
 	if opts.Metrics != nil {
 		s.Metrics = opts.Metrics
 	}
+	s.Store = opts.Store
 	return &System{World: w, study: s}
 }
 

@@ -195,6 +195,27 @@ func (in *Injector) Churned(cc geo.CountryCode, exit geo.IP, served int) bool {
 	return fired
 }
 
+// StoreCrash returns a runstore crash hook that severs the journal
+// mid-record once the process has appended a seeded number of records,
+// drawn uniformly from [1, span]. The threshold is a pure function of
+// the injector's seed, so the kill-mid-write chaos profile crashes at
+// the same record at any Concurrency — which is what lets the matrix
+// assert crash → reopen → resume reproduces an uninterrupted run
+// byte for byte.
+func (in *Injector) StoreCrash(span int64) func(written int64) bool {
+	if span < 1 {
+		span = 1
+	}
+	at := 1 + int64(stats.Mix64(in.seed^hashString("kill-mid-write"))%uint64(span))
+	return func(written int64) bool {
+		fired := written >= at
+		if fired {
+			in.count("store-crash", "")
+		}
+		return fired
+	}
+}
+
 // Request implements proxy.FaultHook: one draw, split across the
 // profile's per-request rates.
 func (in *Injector) Request(cc geo.CountryCode, exit geo.IP, host string, seed uint64) proxy.FaultVerdict {

@@ -9,6 +9,7 @@ import (
 
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
+	"geoblock/internal/telemetry"
 	"geoblock/internal/vnet"
 )
 
@@ -200,5 +201,69 @@ func TestWrapTransport(t *testing.T) {
 	}
 	if got, _ := io.ReadAll(resp.Body); len(got) != len(body) {
 		t.Fatalf("clean transport altered the body: %d bytes of %d", len(got), len(body))
+	}
+}
+
+func TestStoreCrashSeededThreshold(t *testing.T) {
+	// The kill point is a pure function of the seed: two injectors with
+	// the same seed sever at the same record count, and the hook is a
+	// threshold, not a coin flip — false below, true at and beyond.
+	firstFire := func(in *Injector, span int64) int64 {
+		crash := in.StoreCrash(span)
+		for written := int64(0); written <= span+1; written++ {
+			if crash(written) {
+				for w := written; w <= span+1; w++ {
+					if !crash(w) {
+						t.Fatalf("crash hook un-fired at written=%d after firing at %d", w, written)
+					}
+				}
+				return written
+			}
+		}
+		t.Fatalf("crash hook never fired within span %d", span)
+		return 0
+	}
+
+	for _, span := range []int64{1, 25, 200} {
+		a := firstFire(New(7), span)
+		b := firstFire(New(7), span)
+		if a != b {
+			t.Fatalf("span %d: same seed fired at %d and %d", span, a, b)
+		}
+		if a < 1 || a > span {
+			t.Fatalf("span %d: kill point %d outside [1, %d]", span, a, span)
+		}
+	}
+
+	// Different seeds spread the kill point across the span.
+	points := map[int64]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		points[firstFire(New(seed), 200)] = true
+	}
+	if len(points) < 2 {
+		t.Fatal("32 seeds all chose the same kill point")
+	}
+
+	// A degenerate span clamps to 1: the very first append dies.
+	if New(3).StoreCrash(0)(0) {
+		t.Fatal("clamped hook fired before any record was appended")
+	}
+	if !New(3).StoreCrash(0)(1) {
+		t.Fatal("clamped hook survived the first record")
+	}
+
+	// An instrumented injector tallies the fired sever.
+	reg := telemetry.New()
+	crash := New(3).Instrument(reg).StoreCrash(1)
+	crash(5)
+	snap := reg.Snapshot()
+	var fired int64
+	for _, c := range snap.Counters {
+		if strings.Contains(c.Name, "store-crash") {
+			fired = c.Value
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("store-crash counter = %d, want 1", fired)
 	}
 }

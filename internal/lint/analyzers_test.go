@@ -15,6 +15,8 @@ import (
 func TestDeterminism(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.Determinism,
 		"geoblock/internal/pipeline/dfix",
+		// The journal layer times fsyncs via the injected clock seam.
+		"geoblock/internal/runstore/dfix",
 		// Telemetry: wall clock legal only in the clock.go Clock seam.
 		"geoblock/internal/telemetry/tfix",
 		// Out of scope: the wall clock is legal off the scan path.

@@ -26,6 +26,7 @@ var determinismScope = scope(
 	"geoblock/internal/pipeline/...",
 	"geoblock/internal/papertables/...",
 	"geoblock/internal/faults/...",
+	"geoblock/internal/runstore/...",
 	"geoblock/internal/worldgen/...",
 	"geoblock/internal/telemetry/...",
 )

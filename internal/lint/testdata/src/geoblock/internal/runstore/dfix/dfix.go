@@ -1,0 +1,34 @@
+// Fixture: the determinism analyzer over the journal layer
+// (geoblock/internal/runstore/...). Fsync latency and recovery timing
+// must come from the injected telemetry clock, never the wall clock.
+package dfix
+
+import "time"
+
+// timing a write against the wall clock is the violation.
+func syncLatency(sync func() error) (time.Duration, error) {
+	start := time.Now() // want "time.Now reads the wall clock"
+	err := sync()
+	return time.Since(start), err // want "time.Since reads the wall clock"
+}
+
+// backing off between retries with a real sleep is too.
+func retrySync(sync func() error) error {
+	if err := sync(); err != nil {
+		time.Sleep(5 * time.Millisecond) // want "time.Sleep reads the wall clock"
+		return sync()
+	}
+	return nil
+}
+
+// The clock seam is the legal shape: timestamps arrive injected.
+func syncLatencySeamed(now func() time.Time, sync func() error) (time.Duration, error) {
+	start := now()
+	err := sync()
+	return now().Sub(start), err
+}
+
+// Duration constants and arithmetic never observe real time.
+const flushEvery = 64 * time.Millisecond
+
+func double(d time.Duration) time.Duration { return d * 2 }

@@ -102,7 +102,7 @@ func (s *Study) RunExploration() *ExploreResult {
 	}
 	blockPairs := map[pair]blockpage.Kind{}
 	uniqueDomains := map[int32]bool{}
-	s.noteScanErr("explore", lumscan.ScanVPSStream(s.ctx(), fleet, domains, nil, cfg,
+	s.noteScanErr("explore", s.scanVPSStream("explore", cfg, fleet, domains, nil,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			if !sm.OK() {
 				return
@@ -145,7 +145,9 @@ func (s *Study) RunExploration() *ExploreResult {
 	for _, key := range keys {
 		kind := blockPairs[key]
 		r.PerProviderPairs[kind]++
-		sub := lumscan.ScanVPS(fleet[key.country:key.country+1], []string{domains[key.domain]}, verifyCfg)
+		var sub lumscan.Collect
+		s.noteScanErr("explore-verify", s.scanVPSStream("explore-verify", verifyCfg,
+			fleet[key.country:key.country+1], []string{domains[key.domain]}, nil, &sub))
 		genuine := false
 		for i := range sub.Samples {
 			sm := &sub.Samples[i]

@@ -124,7 +124,7 @@ func (s *Study) AnalyzeTimeouts(r *Top10KResult, resamples int) *TimeoutResult {
 	scanCfg.Samples = resamples
 	scanCfg.Retries = 0
 	confirm := map[pairKey]*tally{}
-	s.noteScanErr("timeout-confirm", lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+	s.noteScanErr("timeout-confirm", s.scanStream("timeout-confirm", scanCfg, r.SafeDomains, r.Countries, tasks,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			key := pairKey{sm.Domain, sm.Country}
 			t := confirm[key]

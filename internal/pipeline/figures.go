@@ -92,7 +92,7 @@ func (s *Study) RunConsistencyExperiment(r *Top10KResult, population, draws int,
 	// samples per pair this is the deepest scan in the repo, so each
 	// sample streams into its bit and the body is gone immediately.
 	perPair := map[pairKey][]bool{}
-	s.noteScanErr("figure1", lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+	s.noteScanErr("figure1", s.scanStream("figure1", scanCfg, r.SafeDomains, r.Countries, tasks,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			key := pairKey{sm.Domain, sm.Country}
 			if _, tracked := kinds[key]; !tracked {

@@ -10,6 +10,7 @@ package pipeline
 import (
 	"context"
 	"sort"
+	"strconv"
 
 	"geoblock/internal/blockpage"
 	"geoblock/internal/consistency"
@@ -17,6 +18,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/lumscan"
 	"geoblock/internal/proxy"
+	"geoblock/internal/runstore"
 	"geoblock/internal/stats"
 	"geoblock/internal/telemetry"
 	"geoblock/internal/worldgen"
@@ -40,6 +42,18 @@ type Study struct {
 	// snapshots); replace it with telemetry.NewWithClock(telemetry.Wall{})
 	// before running to time a real study. Never nil after New.
 	Metrics *telemetry.Registry
+	// Store, when non-nil, journals every scan phase the study runs and
+	// resumes interrupted phases from their checkpoints: completed
+	// shards replay from disk instead of refetching. The journal must
+	// come from the same study configuration (world seed and inputs) —
+	// each phase's fingerprint is validated on resume.
+	Store *runstore.Store
+
+	// phaseSeq counts scan invocations per phase name, so repeated
+	// invocations (the explore verify loop) get distinct journal keys.
+	// Study execution order is deterministic, so the keys are stable
+	// across runs — which is what lets a resumed study find its work.
+	phaseSeq map[string]int
 
 	// scanErr holds the first scan abort the study observed (in
 	// practice: ctx cancellation). Partial results are still returned —
@@ -239,8 +253,8 @@ func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, c
 	cfg.Samples = samples
 	cfg.KeepBody = func(int, int) bool { return false }
 	counts := make([]int, len(countries))
-	s.noteScanErr("country-rank", lumscan.ScanStream(s.ctx(), s.Net, auxDomains, countries,
-		lumscan.CrossProduct(len(auxDomains), len(countries)), cfg,
+	s.noteScanErr("country-rank", s.scanStream("country-rank", cfg, auxDomains, countries,
+		lumscan.CrossProduct(len(auxDomains), len(countries)),
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			if sm.OK() && sm.Status == 403 {
 				counts[sm.Country]++
@@ -266,4 +280,81 @@ func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, c
 // studyRNG derives the deterministic RNG for sampling decisions.
 func (s *Study) studyRNG(label string) *stats.RNG {
 	return stats.NewRNG(s.World.Cfg.Seed).Fork("pipeline").Fork(label)
+}
+
+// phaseKey returns the journal key for the next invocation of the
+// named phase: the name itself the first time, name#k for repeats.
+func (s *Study) phaseKey(name string) string {
+	if s.phaseSeq == nil {
+		s.phaseSeq = map[string]int{}
+	}
+	k := s.phaseSeq[name]
+	s.phaseSeq[name]++
+	if k == 0 {
+		return name
+	}
+	return name + "#" + strconv.Itoa(k)
+}
+
+// scanFingerprint digests a scan invocation's identity for the
+// journal: world seed, journal key, phase name, input sizes, and the
+// sampling parameter — never Concurrency, which a resumed run is free
+// to change. A journal directory reused across different study
+// configurations fails this check instead of splicing foreign samples.
+func (s *Study) scanFingerprint(key string, cfg lumscan.Config, domains, groups, tasks int) uint64 {
+	h := fnv("geoblock-scan")
+	h = stats.Mix64(h ^ s.World.Cfg.Seed)
+	h = stats.Mix64(h ^ fnv(key))
+	h = stats.Mix64(h ^ fnv(cfg.Phase))
+	h = stats.Mix64(h ^ uint64(domains))
+	h = stats.Mix64(h ^ uint64(groups)<<16)
+	h = stats.Mix64(h ^ uint64(tasks)<<32)
+	h = stats.Mix64(h ^ uint64(cfg.Samples)<<48)
+	return h
+}
+
+func fnv(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// scanStream is the study's one residential-scan entry point: it runs
+// the phase directly when no journal is attached, and through
+// Store.Scan — journaling live work, replaying committed work —
+// otherwise. name keys the journal; it is usually cfg.Phase.
+func (s *Study) scanStream(name string, cfg lumscan.Config, domains []string, countries []geo.CountryCode, tasks []lumscan.Task, sink lumscan.Sink) error {
+	if s.Store == nil {
+		return lumscan.ScanStream(s.ctx(), s.Net, domains, countries, tasks, cfg, sink)
+	}
+	key := s.phaseKey(name)
+	return s.Store.Scan(runstore.Scan{
+		Key:         key,
+		Fingerprint: s.scanFingerprint(key, cfg, len(domains), len(countries), len(tasks)),
+		Cfg:         cfg,
+		Sink:        sink,
+		Run: func(cfg lumscan.Config, sink lumscan.Sink) error {
+			return lumscan.ScanStream(s.ctx(), s.Net, domains, countries, tasks, cfg, sink)
+		},
+	})
+}
+
+// scanVPSStream is scanStream for the datacenter engine.
+func (s *Study) scanVPSStream(name string, cfg lumscan.Config, fleet []*proxy.VPS, domains []string, tasks []lumscan.Task, sink lumscan.Sink) error {
+	if s.Store == nil {
+		return lumscan.ScanVPSStream(s.ctx(), fleet, domains, tasks, cfg, sink)
+	}
+	key := s.phaseKey(name)
+	return s.Store.Scan(runstore.Scan{
+		Key:         key,
+		Fingerprint: s.scanFingerprint(key, cfg, len(domains), len(fleet), len(tasks)),
+		Cfg:         cfg,
+		Sink:        sink,
+		Run: func(cfg lumscan.Config, sink lumscan.Sink) error {
+			return lumscan.ScanVPSStream(s.ctx(), fleet, domains, tasks, cfg, sink)
+		},
+	})
 }

@@ -140,9 +140,11 @@ func (s *Study) RunTop10K(cfg Top10KConfig) *Top10KResult {
 	scanCfg := s.scanConfig("top10k-initial", sp)
 	scanCfg.Samples = cfg.InitialSamples
 	scanCfg.Concurrency = cfg.Concurrency
-	var initErr error
-	r.Initial, initErr = lumscan.ScanCtx(s.ctx(), s.Net, r.SafeDomains, r.Countries,
-		lumscan.CrossProduct(len(r.SafeDomains), len(r.Countries)), scanCfg)
+	var col lumscan.Collect
+	initErr := s.scanStream("top10k-initial", scanCfg, r.SafeDomains, r.Countries,
+		lumscan.CrossProduct(len(r.SafeDomains), len(r.Countries)), &col)
+	r.Initial = &lumscan.Result{Domains: r.SafeDomains, Countries: r.Countries,
+		Samples: col.Samples, Outages: col.Outages, Coverage: col.Coverage}
 	s.noteScanErr("top10k-initial", initErr)
 	r.Outages, r.Coverage = r.Initial.Outages, r.Initial.Coverage
 	s.logf("top10k: initial snapshot %d samples", len(r.Initial.Samples))
@@ -468,7 +470,7 @@ func (s *Study) resampleAndConfirm(r *Top10KResult, sp *telemetry.Span) {
 	// dropped, so the pass never holds a materialized Result.
 	cands := make(map[pairKey]*candidate, len(kinds))
 	s.collectPairRates(r.Initial, kinds, cands)
-	s.noteScanErr("top10k-confirm", lumscan.ScanStream(s.ctx(), s.Net, r.SafeDomains, r.Countries, tasks, scanCfg,
+	s.noteScanErr("top10k-confirm", s.scanStream("top10k-resample", scanCfg, r.SafeDomains, r.Countries, tasks,
 		s.pairRateSink(kinds, cands)))
 
 	keys := make([]pairKey, 0, len(cands))

@@ -119,9 +119,11 @@ func (s *Study) RunTop1M(cfg Top1MConfig) *Top1MResult {
 	scanCfg := s.scanConfig("top1m-initial", sp)
 	scanCfg.Samples = cfg.InitialSamples
 	scanCfg.Concurrency = cfg.Concurrency
-	var initErr error
-	r.Initial, initErr = lumscan.ScanCtx(s.ctx(), s.Net, r.TestDomains, r.Countries,
-		lumscan.CrossProduct(len(r.TestDomains), len(r.Countries)), scanCfg)
+	var col lumscan.Collect
+	initErr := s.scanStream("top1m-initial", scanCfg, r.TestDomains, r.Countries,
+		lumscan.CrossProduct(len(r.TestDomains), len(r.Countries)), &col)
+	r.Initial = &lumscan.Result{Domains: r.TestDomains, Countries: r.Countries,
+		Samples: col.Samples, Outages: col.Outages, Coverage: col.Coverage}
 	s.noteScanErr("top1m-initial", initErr)
 	r.Outages, r.Coverage = r.Initial.Outages, r.Initial.Coverage
 	s.logCoverage("top1m", r.Outages, r.Coverage)
@@ -251,7 +253,7 @@ func (s *Study) confirmExplicit1M(r *Top1MResult, sp *telemetry.Span) {
 
 	cands := make(map[pairKey]*candidate, len(kinds))
 	s.collectPairRates(r.Initial, kinds, cands)
-	s.noteScanErr("top1m-resample", lumscan.ScanStream(s.ctx(), s.Net, r.TestDomains, r.Countries, tasks, scanCfg,
+	s.noteScanErr("top1m-resample", s.scanStream("top1m-resample", scanCfg, r.TestDomains, r.Countries, tasks,
 		s.pairRateSink(kinds, cands)))
 
 	keys := make([]pairKey, 0, len(cands))
@@ -337,7 +339,7 @@ func (s *Study) analyzeNonExplicit(r *Top1MResult, sp *telemetry.Span) {
 	// every country, 20 samples each — so it streams into per-domain,
 	// per-country rates and drops each body the moment it classifies.
 	perDomain := map[int32]map[string]consistency.Rate{}
-	s.noteScanErr("top1m-nonexplicit", lumscan.ScanStream(s.ctx(), s.Net, r.TestDomains, r.Countries, tasks, scanCfg,
+	s.noteScanErr("top1m-nonexplicit", s.scanStream("top1m-nonexplicit", scanCfg, r.TestDomains, r.Countries, tasks,
 		lumscan.SinkFunc(func(sm lumscan.Sample) {
 			kind, tracked := ambiguous[sm.Domain]
 			if !tracked || !sm.OK() {

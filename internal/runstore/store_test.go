@@ -1,0 +1,376 @@
+package runstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geoblock/internal/scanner"
+	"geoblock/internal/telemetry"
+)
+
+// mustOpen opens a store or fails the test.
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// journalShard writes n samples and then the committing checkpoint for
+// shard seq.
+func journalShard(t *testing.T, st *Store, ph *phaseState, seq, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		s := scanner.Sample{Domain: int32(i), Country: int16(seq), Seed: uint64(seq*1000 + i)}
+		if err := st.journalSample(ph, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := Checkpoint{Seq: seq, Country: "US", Tasks: n, Samples: n}
+	if err := st.journalCheckpoint(ph, cp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenFreshAndReopenEmpty: a new directory starts an empty journal
+// with a manifest; reopening it finds no phases.
+func TestOpenFreshAndReopenEmpty(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	if got := st.Phases(); len(got) != 0 {
+		t.Fatalf("fresh journal has %d phases", len(got))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := manifestHeader + "\nsegment " + segName(0) + "\n"
+	if string(b) != want {
+		t.Fatalf("manifest = %q, want %q", b, want)
+	}
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	if got := st2.Phases(); len(got) != 0 {
+		t.Fatalf("reopened empty journal has %d phases", len(got))
+	}
+}
+
+// TestRecoverTornTail: garbage appended past the last fsync'd record
+// — the torn frame a kill -9 leaves — is truncated on reopen, counted
+// in the truncation metric, and the index is intact.
+func TestRecoverTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	ph, err := st.beginPhase("p", "phase", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalShard(t, st, ph, 0, 5)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(0))
+	committed, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a frame of a would-be record: length says 100, payload absent.
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{100, 0, 0, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg := telemetry.New()
+	st2 := mustOpen(t, dir, Options{Metrics: reg})
+	defer st2.Close()
+	info, ok := st2.Phase("p")
+	if !ok || info.Shards != 1 || info.Samples != 5 {
+		t.Fatalf("recovered phase = %+v, want 1 shard / 5 samples", info)
+	}
+	after, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != committed.Size() {
+		t.Fatalf("tail not truncated: %d bytes, want %d", after.Size(), committed.Size())
+	}
+	if got := reg.RuntimeCounter(MetRecordsTruncated).Value(); got != 1 {
+		t.Fatalf("truncated counter = %d, want 1", got)
+	}
+}
+
+// TestRecoverOrphanSamples: samples written after the last checkpoint
+// belong to a shard that never committed; recovery drops them so the
+// shard reruns cleanly on resume.
+func TestRecoverOrphanSamples(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	ph, err := st.beginPhase("p", "phase", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalShard(t, st, ph, 0, 3)
+	// Orphans: a shard's samples with no committing checkpoint.
+	for i := 0; i < 4; i++ {
+		if err := st.journalSample(ph, scanner.Sample{Domain: int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	st2 := mustOpen(t, dir, Options{Metrics: reg})
+	info, _ := st2.Phase("p")
+	if info.Shards != 1 || info.Samples != 3 {
+		t.Fatalf("recovered phase = %+v, want 1 shard / 3 samples", info)
+	}
+	if got := reg.RuntimeCounter(MetRecordsTruncated).Value(); got != 4 {
+		t.Fatalf("truncated counter = %d, want 4 orphans", got)
+	}
+	// The journal must physically end at the commit point: appending a
+	// new shard and replaying must yield exactly 3+2 samples.
+	ph2, err := st2.phaseByKey("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalShard(t, st2, ph2, 1, 2)
+	var col scanner.Collect
+	lost, err := st2.replayPhase(ph2, &col, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 2 || len(col.Samples) != 5 {
+		t.Fatalf("replay after orphan truncation: %d shards / %d samples, want 2 / 5", len(lost), len(col.Samples))
+	}
+	st2.Close()
+}
+
+// phaseByKey looks up the in-memory phase state for tests.
+func (s *Store) phaseByKey(key string) (*phaseState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ph := s.phases[key]
+	if ph == nil {
+		return nil, os.ErrNotExist
+	}
+	return ph, nil
+}
+
+// TestSegmentRotation: a tiny segment budget forces rotation at commit
+// boundaries; the manifest tracks every segment and recovery walks them
+// all in order.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	st := mustOpen(t, dir, Options{SegmentBytes: 256, Metrics: reg})
+	ph, err := st.beginPhase("p", "phase", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 8; seq++ {
+		journalShard(t, st, ph, seq, 6)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.RuntimeCounter(MetSegmentRotations).Value(); got < 2 {
+		t.Fatalf("rotations = %d, want several at a 256-byte budget", got)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines)-1 < 3 {
+		t.Fatalf("manifest lists %d segments, want at least 3:\n%s", len(lines)-1, b)
+	}
+	for i, ln := range lines[1:] {
+		if ln != "segment "+segName(i) {
+			t.Fatalf("manifest line %d = %q, want segment %s", i, ln, segName(i))
+		}
+	}
+
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	info, _ := st2.Phase("p")
+	if info.Shards != 8 || info.Samples != 48 {
+		t.Fatalf("multi-segment recovery = %+v, want 8 shards / 48 samples", info)
+	}
+	ph2, err := st2.phaseByKey("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col scanner.Collect
+	if _, err := st2.replayPhase(ph2, &col, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Samples) != 48 {
+		t.Fatalf("replayed %d samples across segments, want 48", len(col.Samples))
+	}
+}
+
+// TestRecoverWithoutManifest: a journal whose manifest was lost (crash
+// before the first rewrite landed) is still recovered from the
+// seg-*.log glob, in name order.
+func TestRecoverWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{SegmentBytes: 256})
+	ph, err := st.beginPhase("p", "phase", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 6; seq++ {
+		journalShard(t, st, ph, seq, 4)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	info, _ := st2.Phase("p")
+	if info.Shards != 6 || info.Samples != 24 {
+		t.Fatalf("glob recovery = %+v, want 6 shards / 24 samples", info)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("recovery did not rewrite the manifest: %v", err)
+	}
+}
+
+// TestRecoverDropsLaterSegments: a torn frame in an early segment
+// truncates there and removes every later segment — the disk's story
+// ends at the last believable commit.
+func TestRecoverDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{SegmentBytes: 256})
+	ph, err := st.beginPhase("p", "phase", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 6; seq++ {
+		journalShard(t, st, ph, seq, 4)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte mid-way through the second segment.
+	seg1 := filepath.Join(dir, segName(1))
+	b, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(seg1, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	info, _ := st2.Phase("p")
+	if info.Shards >= 6 || info.Shards == 0 {
+		t.Fatalf("recovered %d shards, want a proper prefix of 6", info.Shards)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 2 {
+		t.Fatalf("%d segments survive a torn frame in segment 1, want at most 2: %v", len(segs), segs)
+	}
+}
+
+// TestCrashHookSevers: the chaos hook tears the record it fires on and
+// latches the store into ErrSevered, and recovery after the sever sees
+// only the committed prefix.
+func TestCrashHookSevers(t *testing.T) {
+	dir := t.TempDir()
+	var calls int64
+	st := mustOpen(t, dir, Options{Crash: func(written int64) bool {
+		calls++
+		return written >= 9 // phase-begin + 5 samples + checkpoint + 2 samples
+	}})
+	ph, err := st.beginPhase("p", "phase", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalShard(t, st, ph, 0, 5)
+	var severErr error
+	for i := 0; i < 10 && severErr == nil; i++ {
+		severErr = st.journalSample(ph, scanner.Sample{Domain: int32(i)})
+	}
+	if severErr != ErrSevered {
+		t.Fatalf("sever error = %v, want ErrSevered", severErr)
+	}
+	if err := st.journalCheckpoint(ph, Checkpoint{Seq: 1}); err != ErrSevered {
+		t.Fatalf("append after sever = %v, want ErrSevered", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	st2 := mustOpen(t, dir, Options{Metrics: reg})
+	defer st2.Close()
+	info, _ := st2.Phase("p")
+	if info.Shards != 1 || info.Samples != 5 {
+		t.Fatalf("post-sever recovery = %+v, want 1 shard / 5 samples", info)
+	}
+	// 2 whole orphan samples plus the torn half-record.
+	if got := reg.RuntimeCounter(MetRecordsTruncated).Value(); got != 3 {
+		t.Fatalf("truncated counter = %d, want 3", got)
+	}
+}
+
+// TestCheckpointOrdering: out-of-order checkpoint sequence numbers are
+// a program bug, caught at write time and at recovery time.
+func TestCheckpointOrdering(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{})
+	defer st.Close()
+	ph, err := st.beginPhase("p", "phase", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.journalCheckpoint(ph, Checkpoint{Seq: 1}); err == nil {
+		t.Fatal("checkpoint seq 1 accepted before seq 0")
+	}
+	if err := st.journalCheckpoint(ph, Checkpoint{Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.beginPhase("p", "phase", 42); err == nil {
+		t.Fatal("duplicate phase begin accepted")
+	}
+}
+
+// TestBadManifestErrors: a manifest with a wrong header or junk lines
+// is corruption of fsync'd state, which errors rather than guesses.
+func TestBadManifestErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("not a manifest\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("bad manifest header opened")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(manifestHeader+"\njunk line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("bad manifest line opened")
+	}
+}

@@ -28,19 +28,19 @@ const (
 
 	// Fetcher layer.
 	MetFetchAttempts = "scanner.fetch.attempts"
-	MetFetchResults  = "scanner.fetch.results" // + {code=<ErrCode>}
+	MetFetchResults  = "scanner.fetch.results"    // + {code=<ErrCode>}
 	MetFetchLatency  = "scanner.fetch.latency_ms" // runtime histogram
 	MetFetchBytes    = "scanner.fetch.body_bytes"
 
 	// Session layer.
-	MetOpenAttempts  = "scanner.session.open_attempts"
-	MetBrownouts     = "scanner.session.brownouts"
-	MetBackoff       = "scanner.session.backoff_ms"
-	MetRetries       = "scanner.session.retries"
-	MetRotations     = "scanner.session.rotations"
-	MetProbes        = "scanner.session.precheck_probes"
-	MetFailedSweeps  = "scanner.session.failed_sweeps"
-	MetBreakerTrips  = "scanner.session.breaker_trips"
+	MetOpenAttempts = "scanner.session.open_attempts"
+	MetBrownouts    = "scanner.session.brownouts"
+	MetBackoff      = "scanner.session.backoff_ms"
+	MetRetries      = "scanner.session.retries"
+	MetRotations    = "scanner.session.rotations"
+	MetProbes       = "scanner.session.precheck_probes"
+	MetFailedSweeps = "scanner.session.failed_sweeps"
+	MetBreakerTrips = "scanner.session.breaker_trips"
 
 	// Outage accounting.
 	MetOutages      = "scanner.outages" // + {reason=<OutageReason>}

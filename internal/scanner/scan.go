@@ -5,6 +5,7 @@ package scanner
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
@@ -33,14 +34,29 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 	shards := buildShards(byCountry, cfg.ShardSize, func(group int16, index int) uint64 {
 		return shardSlot(string(countries[group]), cfg.Phase, index)
 	})
+	skip, err := resumePrefix(cfg, shards)
+	if err != nil {
+		return err
+	}
+	_, journaling := sink.(ShardSink)
 
 	sp := startScanSpan(cfg)
+	nameOf := func(sh *shard) string { return string(countries[sh.group]) }
 	run := func(ctx context.Context, sh *shard) {
 		// One country-span activation per shard: activations merge by
 		// name, so the node's count reads "shards run" and its outcome
 		// tally aggregates per-shard fates.
-		csp := sp.StartSpan(string(countries[sh.group]))
-		sh.out = scanShard(ctx, net, domains, countries, sh, cfg, pol)
+		sh.country = nameOf(sh)
+		csp := sp.StartSpan(sh.country)
+		scfg := cfg
+		if journaling && cfg.Metrics != nil {
+			// Stage this shard's session and fetch metrics in a
+			// shard-local registry so ShardDone can carry exactly this
+			// shard's contribution; the emitter merges it back.
+			sh.staging = telemetry.NewWithClock(cfg.Metrics.Clock())
+			scfg.Metrics = sh.staging
+		}
+		sh.out = scanShard(ctx, net, domains, countries, sh, scfg, pol)
 		if sh.lost == OutageNone {
 			csp.Outcome("ok")
 		} else {
@@ -48,7 +64,8 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 		}
 		csp.End()
 	}
-	err := schedule(ctx, shards, cfg.Concurrency, run, sink, cfg.Metrics)
+	creditSkipped(cfg, sp, shards[:skip], nameOf)
+	err = schedule(ctx, shards, skip, cfg.Concurrency, run, sink, cfg.Metrics)
 	sp.End()
 	if err != nil {
 		return err
@@ -89,6 +106,48 @@ func countOutages(reg *telemetry.Registry, outages []Outage, cov Coverage) {
 	reg.Counter(MetCovRequested).Add(int64(cov.Requested))
 	reg.Counter(MetCovAttained).Add(int64(cov.Attained))
 	reg.Counter(MetCovTasksLost).Add(int64(cov.TasksLost))
+}
+
+// resumePrefix validates cfg.Resume against the freshly built shard
+// set and stamps the restored loss records onto the skipped prefix, so
+// the end-of-run outage and coverage accounting — which walks all
+// shards — reproduces the uninterrupted run's records exactly.
+func resumePrefix(cfg Config, shards []*shard) (int, error) {
+	r := cfg.Resume
+	if r == nil {
+		return 0, nil
+	}
+	if r.Shards < 0 || r.Shards > len(shards) {
+		return 0, fmt.Errorf("scanner: resume prefix of %d shards outside 0..%d", r.Shards, len(shards))
+	}
+	if len(r.Lost) != r.Shards {
+		return 0, fmt.Errorf("scanner: resume carries %d loss records for %d shards", len(r.Lost), r.Shards)
+	}
+	for i := 0; i < r.Shards; i++ {
+		shards[i].lost = r.Lost[i]
+	}
+	return r.Shards, nil
+}
+
+// creditSkipped restores the per-shard accounting a live run of the
+// skipped prefix would have produced: one country-span activation with
+// its outcome per shard, plus the shards-done counter. The prefix's
+// samples and session/fetch metrics are restored separately by the
+// journal's replay (see internal/runstore), keeping the deterministic
+// telemetry view identical to an uninterrupted run.
+func creditSkipped(cfg Config, sp *telemetry.Span, skipped []*shard, name func(*shard) string) {
+	for _, sh := range skipped {
+		csp := sp.StartSpan(name(sh))
+		if sh.lost == OutageNone {
+			csp.Outcome("ok")
+		} else {
+			csp.Outcome(sh.lost.String())
+		}
+		csp.End()
+	}
+	if len(skipped) > 0 {
+		cfg.Metrics.Counter(MetShardsDone).Add(int64(len(skipped)))
+	}
 }
 
 // Scan is the collecting form of Run: it materializes the full Result.

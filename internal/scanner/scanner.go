@@ -224,6 +224,24 @@ type Config struct {
 	// trace reads pipeline phase → scan phase → country. Nil roots the
 	// scan span at the registry.
 	Span *telemetry.Span
+	// Resume, when non-nil, marks a canonical-order prefix of the
+	// scan's shards as already measured by an earlier run. The engine
+	// skips their work entirely — the journal layer replays their
+	// persisted samples into the sink beforehand — while still
+	// crediting their spans, counters, and outage accounting from the
+	// recorded loss reasons, so a resumed run's deterministic telemetry
+	// and coverage math match an uninterrupted run's exactly.
+	Resume *Resume
+}
+
+// Resume is the checkpoint index's view of how far an interrupted scan
+// got: Shards completed scheduler shards, in canonical order, and each
+// one's OutageReason (OutageNone for healthy shards). The engine folds
+// the reasons back into the outage and coverage accounting exactly as
+// if the shards had just run.
+type Resume struct {
+	Shards int
+	Lost   []OutageReason
 }
 
 // withDefaults fills zero fields with the §4.1.1 parameters.

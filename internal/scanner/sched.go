@@ -15,13 +15,17 @@ import (
 // carries its own session slot — so any execution order yields the
 // same per-shard output.
 type shard struct {
-	seq   int    // canonical position (group-major, chunk order)
-	group int16  // country or VPS index
-	index int    // chunk index within the group
-	slot  uint64 // sticky-session slot, a pure function of (group, phase, index)
-	tasks []Task
-	out   []Sample     // filled by the runner, released after emission
-	lost  OutageReason // set by the runner when the shard's tasks were lost
+	seq     int    // canonical position (group-major, chunk order)
+	group   int16  // country or VPS index
+	index   int    // chunk index within the group
+	slot    uint64 // sticky-session slot, a pure function of (group, phase, index)
+	tasks   []Task
+	out     []Sample     // filled by the runner, released after emission
+	lost    OutageReason // set by the runner when the shard's tasks were lost
+	country string       // group's country code, for ShardDone
+	// staging holds the shard's own metrics when a ShardSink asked for
+	// per-shard accounting; merged into the main registry at emission.
+	staging *telemetry.Registry
 }
 
 // buildShards chunks each group's tasks. Boundaries depend only on the
@@ -91,12 +95,13 @@ func (d *deque) stealBack() *shard {
 // shard has been emitted. Emit is therefore always called sequentially
 // and in the same order regardless of scheduling.
 type emitter struct {
-	mu     sync.Mutex
-	sink   Sink
-	shards []*shard
-	done   []bool
-	next   int
-	reg    *telemetry.Registry
+	mu        sync.Mutex
+	sink      Sink
+	shardSink ShardSink // sink's ShardSink side, when it has one
+	shards    []*shard
+	done      []bool
+	next      int
+	reg       *telemetry.Registry
 }
 
 func (e *emitter) complete(sh *shard) {
@@ -116,26 +121,54 @@ func (e *emitter) complete(sh *shard) {
 			e.reg.Counter(MetSinkSamples).Add(int64(len(ready.out)))
 			e.reg.Counter(MetSinkBytes).Add(bytes)
 		}
+		if ready.staging != nil {
+			// Fold the shard's staged metrics into the main registry at
+			// the canonical emission point. Merging is commutative, so
+			// the totals equal a run that recorded them live.
+			e.reg.Merge(ready.staging.Snapshot())
+		}
+		if e.shardSink != nil {
+			var det *telemetry.Snapshot
+			if ready.staging != nil {
+				det = ready.staging.Snapshot().Deterministic()
+			}
+			e.shardSink.EmitShardDone(ShardDone{
+				Seq:     ready.seq,
+				Country: ready.country,
+				Tasks:   len(ready.tasks),
+				Samples: len(ready.out),
+				Lost:    ready.lost,
+				Metrics: det,
+			})
+		}
 		ready.out = nil // release bodies as soon as the sink has seen them
+		ready.staging = nil
 		e.next++
 	}
 }
 
 // schedule fans shards out over a work-stealing pool and streams
 // completed shards to sink in canonical order. run must fill sh.out.
-// On context cancellation workers stop picking up shards and schedule
-// returns ctx.Err(); already-emitted samples are not retracted.
-func schedule(ctx context.Context, shards []*shard, workers int, run func(context.Context, *shard), sink Sink, reg *telemetry.Registry) error {
+// The first skip shards are a resumed prefix: already persisted by an
+// earlier run, they are never distributed — the emitter's frontier
+// starts past them. On context cancellation workers stop picking up
+// shards and schedule returns ctx.Err(); already-emitted samples are
+// not retracted.
+func schedule(ctx context.Context, shards []*shard, skip int, workers int, run func(context.Context, *shard), sink Sink, reg *telemetry.Registry) error {
 	if len(shards) == 0 {
 		return ctx.Err()
 	}
-	if workers > len(shards) {
-		workers = len(shards)
+	reg.Counter(MetShardsScheduled).Add(int64(len(shards)))
+	live := shards[skip:]
+	if len(live) == 0 {
+		return ctx.Err()
+	}
+	if workers > len(live) {
+		workers = len(live)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	reg.Counter(MetShardsScheduled).Add(int64(len(shards)))
 	// Steal counts and the worker gauge depend on scheduling, so they
 	// are runtime-class; everything else here is deterministic.
 	reg.RuntimeGauge(MetWorkers).Set(int64(workers))
@@ -149,12 +182,17 @@ func schedule(ctx context.Context, shards []*shard, workers int, run func(contex
 	for w := range deques {
 		deques[w] = &deque{}
 	}
-	for i, sh := range shards {
+	for i, sh := range live {
 		d := deques[i%workers]
 		d.shards = append(d.shards, sh)
 	}
 
-	em := &emitter{sink: sink, shards: shards, done: make([]bool, len(shards)), reg: reg}
+	done := make([]bool, len(shards))
+	for i := 0; i < skip; i++ {
+		done[i] = true
+	}
+	em := &emitter{sink: sink, shards: shards, done: done, next: skip, reg: reg}
+	em.shardSink, _ = sink.(ShardSink)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -1,6 +1,8 @@
 // The sink layer: streaming delivery of samples.
 package scanner
 
+import "geoblock/internal/telemetry"
+
 // Sink receives samples as shards complete. The engine serializes
 // calls and delivers in canonical country-major, task-order sequence
 // (see the package determinism contract), so implementations need no
@@ -29,6 +31,41 @@ type OutageSink interface {
 	Sink
 	EmitOutage(o Outage)
 	EmitCoverage(c Coverage)
+}
+
+// ShardDone describes one completed scheduler shard at the moment of
+// its canonical emission: its sequence number, the country (or VPS
+// country) it belongs to, its task and emitted-sample counts, why its
+// tasks were lost (OutageNone for a healthy shard), and the shard's own
+// deterministic telemetry contribution.
+type ShardDone struct {
+	Seq     int
+	Country string
+	Tasks   int
+	Samples int
+	Lost    OutageReason
+	// Metrics is the deterministic view of the metrics this shard's
+	// session and fetch work recorded, staged in a shard-local registry
+	// (see ShardSink). Nil when the scan ran without a registry.
+	Metrics *telemetry.Snapshot
+}
+
+// ShardSink is the optional checkpoint channel: a Sink that also
+// implements it receives one ShardDone after each shard's samples,
+// still on the engine's single delivery goroutine and in canonical
+// order. A journaling sink treats the callback as its durable commit
+// point — everything before it belongs to fully delivered shards.
+//
+// Presence of a ShardSink switches the engine into metric staging: each
+// shard's session and fetch metrics accumulate in a shard-local
+// registry that is merged into Config.Metrics at emission time (the
+// merged totals are identical either way, since every engine metric is
+// per-shard and commutative), and ShardDone.Metrics carries exactly
+// that shard's deterministic contribution — what a resumed run must
+// restore for work it skips.
+type ShardSink interface {
+	Sink
+	EmitShardDone(d ShardDone)
 }
 
 // Collect is the materializing sink: it reproduces the classic

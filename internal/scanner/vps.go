@@ -9,6 +9,7 @@ import (
 
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
+	"geoblock/internal/telemetry"
 )
 
 // RunVPS streams a VPS-fleet scan into sink. Tasks index domains and
@@ -30,15 +31,28 @@ func RunVPS(ctx context.Context, fleet []*proxy.VPS, domains []string, tasks []T
 		byVPS[t.Country] = append(byVPS[t.Country], t)
 	}
 	shards := buildShards(byVPS, cfg.ShardSize, func(int16, int) uint64 { return 0 })
+	skip, err := resumePrefix(cfg, shards)
+	if err != nil {
+		return err
+	}
+	_, journaling := sink.(ShardSink)
 
 	sp := startScanSpan(cfg)
+	nameOf := func(sh *shard) string { return string(fleet[sh.group].Country) }
 	run := func(ctx context.Context, sh *shard) {
-		csp := sp.StartSpan(string(fleet[sh.group].Country))
-		sh.out = scanVPSShard(ctx, fleet[sh.group], domains, sh, cfg)
+		sh.country = nameOf(sh)
+		csp := sp.StartSpan(sh.country)
+		scfg := cfg
+		if journaling && cfg.Metrics != nil {
+			sh.staging = telemetry.NewWithClock(cfg.Metrics.Clock())
+			scfg.Metrics = sh.staging
+		}
+		sh.out = scanVPSShard(ctx, fleet[sh.group], domains, sh, scfg)
 		csp.Outcome("ok") // no session layer: a VPS shard cannot be lost
 		csp.End()
 	}
-	err := schedule(ctx, shards, cfg.Concurrency, run, sink, cfg.Metrics)
+	creditSkipped(cfg, sp, shards[:skip], nameOf)
+	err = schedule(ctx, shards, skip, cfg.Concurrency, run, sink, cfg.Metrics)
 	sp.End()
 	return err
 }

@@ -195,6 +195,21 @@ func (h *Histogram) Add(v float64) {
 // Total reports the number of observations including out-of-range ones.
 func (h *Histogram) Total() int { return h.total }
 
+// MergeCounts folds externally accumulated observations into the
+// histogram: counts adds bin-wise (its length must match the bin count;
+// nil adds nothing in-range) and outOfRange observations land in the
+// overflow tally. Merging is commutative, so histograms accumulated in
+// pieces — per-shard telemetry staging, say — total the same as one
+// accumulated live.
+func (h *Histogram) MergeCounts(counts []int, outOfRange int) {
+	for i, c := range counts {
+		h.Counts[i] += c
+		h.total += c
+	}
+	h.over += outOfRange
+	h.total += outOfRange
+}
+
 // Fractions returns the in-range bin fractions of all observations.
 func (h *Histogram) Fractions() []float64 {
 	out := make([]float64, len(h.Counts))

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -251,7 +252,10 @@ func (s *Snapshot) JSON() ([]byte, error) {
 }
 
 // WriteFile writes the snapshot to path: JSON when the name ends in
-// ".json", text otherwise.
+// ".json", text otherwise. The write is atomic — the data lands in a
+// temp file in the same directory and renames over path — so a crash
+// mid-write (or a concurrent reader) never sees a half-written
+// snapshot, only the old file or the new one.
 func (s *Snapshot) WriteFile(path string) error {
 	var data []byte
 	if strings.HasSuffix(path, ".json") {
@@ -263,7 +267,28 @@ func (s *Snapshot) WriteFile(path string) error {
 	} else {
 		data = []byte(s.Text())
 	}
-	return os.WriteFile(path, data, 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write(data)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp.Name(), 0o644)
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func writeMetrics(b *strings.Builder, ms []Metric) {

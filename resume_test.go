@@ -1,0 +1,94 @@
+package geoblock
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"geoblock/internal/analysis"
+	"geoblock/internal/faults"
+	"geoblock/internal/papertables"
+	"geoblock/internal/runstore"
+	"geoblock/internal/telemetry"
+)
+
+// resumeRun executes the Top-10K study once, optionally journaled, and
+// returns the result, the rendered paper tables, and the deterministic
+// telemetry snapshot.
+func resumeRun(t *testing.T, store *RunStore, reg *telemetry.Registry) (*Top10KResult, string, string) {
+	t.Helper()
+	s := New(Options{Scale: 0.02, Seed: 11, Metrics: reg, Store: store})
+	r := s.RunTop10K(Top10KConfig{})
+	var tables bytes.Buffer
+	papertables.PrintCoverage(&tables, "top10k initial snapshot", r.Outages, r.Coverage)
+	papertables.PrintTable1(&tables, analysis.BuildTable1(r))
+	rows, total := analysis.BuildTable2(r)
+	papertables.PrintTable2(&tables, rows, total)
+	papertables.PrintTable5(&tables, s.World.Geo, analysis.BuildTable5(s.World, r.Findings))
+	return r, tables.String(), reg.Snapshot().Deterministic().Text()
+}
+
+// TestStudyResumeAfterCrash is the end-to-end resume contract: kill the
+// journal partway through a Top-10K study, reopen the directory with a
+// fresh System, and the resumed study's findings, paper tables, and
+// deterministic telemetry are byte-identical to a run that never
+// crashed.
+func TestStudyResumeAfterCrash(t *testing.T) {
+	refResult, refTables, refSnap := resumeRun(t, nil, telemetry.New())
+
+	// A journaled run with no crash must change nothing.
+	dir := t.TempDir()
+	st, err := OpenRunStore(dir, RunStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tables, snap := resumeRun(t, st, telemetry.New())
+	st.Close()
+	if tables != refTables {
+		t.Fatalf("journaling changed the paper tables:\n--- journaled ---\n%s\n--- reference ---\n%s", tables, refTables)
+	}
+	if snap != refSnap {
+		t.Fatalf("journaling changed the deterministic snapshot:\n--- journaled ---\n%s\n--- reference ---\n%s", snap, refSnap)
+	}
+
+	// Crash a fresh run mid-study: the store severs at a seeded record
+	// count, every later phase fails fast, and the study limps to a
+	// partial result.
+	dir = t.TempDir()
+	crashed, err := OpenRunStore(dir, RunStoreOptions{Crash: faults.New(7).StoreCrash(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashSys := New(Options{Scale: 0.02, Seed: 11, Metrics: telemetry.New(), Store: crashed})
+	_ = crashSys.RunTop10K(Top10KConfig{})
+	if err := crashSys.study.Err(); !errors.Is(err, runstore.ErrSevered) {
+		t.Fatalf("crashed study error = %v, want ErrSevered", err)
+	}
+	crashed.Close()
+
+	// Resume: a fresh System over a reopened journal replays the
+	// committed prefix and finishes the rest.
+	resumed, err := OpenRunStore(dir, RunStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if phases := resumed.Phases(); len(phases) == 0 {
+		t.Fatal("crashed journal holds no phases; the crash landed before any scan")
+	}
+	result, tables, snap := resumeRun(t, resumed, telemetry.New())
+	if len(result.Findings) != len(refResult.Findings) {
+		t.Fatalf("resumed study found %d instances, reference %d", len(result.Findings), len(refResult.Findings))
+	}
+	for i := range result.Findings {
+		if result.Findings[i] != refResult.Findings[i] {
+			t.Fatalf("resumed finding %d differs:\n%+v\n%+v", i, result.Findings[i], refResult.Findings[i])
+		}
+	}
+	if tables != refTables {
+		t.Fatalf("resumed paper tables differ:\n--- resumed ---\n%s\n--- reference ---\n%s", tables, refTables)
+	}
+	if snap != refSnap {
+		t.Fatalf("resumed deterministic snapshot differs:\n--- resumed ---\n%s\n--- reference ---\n%s", snap, refSnap)
+	}
+}
