@@ -21,10 +21,17 @@
 #                sharded vs one-worker-per-country, instrumented vs bare)
 #   make profile the streaming scan benchmark under the CPU and memory
 #                profilers; inspect with `go tool pprof geoblock.test cpu.prof`
+#   make fabric-test  the multi-process fabric integration: a lumscan
+#                coordinator plus three scanworker processes (one
+#                chaos-killed mid-shard) must journal byte-identically
+#                to a single-process run of the same scan
+#   make perf    regenerate the recorded perf trajectory (BENCH_6.json):
+#                samples/sec single-process vs 1/2/4 fabric workers,
+#                resume replay speedup, ns/record wire encoding
 
 GO ?= go
 
-.PHONY: check lint race cover fuzz bench profile
+.PHONY: check lint race cover fuzz bench profile fabric-test perf
 
 check:
 	$(GO) build ./...
@@ -49,11 +56,12 @@ cover:
 	  awk -v p="$$pct" -v m="$$2" 'BEGIN { exit (p+0 >= m+0) ? 0 : 1 }' \
 	    || { echo "FAIL: coverage for $$1 fell below the ratcheted floor of $$2%"; exit 1; }; \
 	}; \
-	check ./internal/scanner 85; \
-	check ./internal/faults 92; \
+	check ./internal/scanner 90; \
+	check ./internal/faults 94; \
 	check ./internal/lint 87; \
 	check ./internal/telemetry 94; \
-	check ./internal/runstore 87
+	check ./internal/runstore 89; \
+	check ./internal/fabric 75
 
 # `go test -fuzz` takes exactly one fuzz target per invocation, so each
 # decoder gets its own line. The budget is deliberately small: this is a
@@ -71,3 +79,9 @@ profile:
 	$(GO) test . -run xxx -bench 'BenchmarkScanStreaming' -benchtime 10x \
 		-cpuprofile cpu.prof -memprofile mem.prof -o geoblock.test
 	@echo "inspect with: $(GO) tool pprof geoblock.test cpu.prof"
+
+fabric-test:
+	sh scripts/fabric_integration.sh
+
+perf:
+	$(GO) run ./cmd/geobench -out BENCH_6.json

@@ -1,0 +1,216 @@
+// Command geobench records the engine's perf trajectory: it times the
+// Top-10K study single-process and distributed over 1/2/4 fabric
+// workers, measures the journal's crash/resume replay speedup, and
+// microbenchmarks the shard wire encoding, then writes the numbers as
+// JSON (BENCH_<pr>.json at the repo root by convention) so future
+// changes compare against a recorded baseline instead of anecdotes.
+//
+//	geobench -out BENCH_6.json
+//
+// All timing flows through telemetry.Wall, the engine's one sanctioned
+// wall-clock seam; the workloads themselves stay deterministic, only
+// their durations vary run to run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"geoblock"
+	"geoblock/internal/runstore"
+	"geoblock/internal/scanner"
+	"geoblock/internal/telemetry"
+)
+
+// report is the JSON shape written to -out. Fields are stable: future
+// PRs append files, they do not reshape old ones.
+type report struct {
+	Schema string  `json:"schema"`
+	Scale  float64 `json:"scale"`
+	Seed   uint64  `json:"seed"`
+
+	SingleProcess study   `json:"single_process"`
+	Fabric        []study `json:"fabric"`
+
+	Resume resumeStats `json:"resume"`
+	Encode encodeStats `json:"encode"`
+}
+
+// study is one timed Top-10K run. Samples counts the initial-snapshot
+// scan — the study's dominant phase and the same workload in every
+// cell, so samples/sec compares fairly across single-process and
+// worker counts.
+type study struct {
+	Workers       int     `json:"workers,omitempty"`
+	Seconds       float64 `json:"seconds"`
+	Samples       int     `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+type resumeStats struct {
+	ColdSeconds   float64 `json:"cold_seconds"`
+	ResumeSeconds float64 `json:"resume_seconds"`
+	Speedup       float64 `json:"speedup"`
+}
+
+type encodeStats struct {
+	Records     int     `json:"records"`
+	NsPerRecord float64 `json:"ns_per_record"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	scale := flag.Float64("scale", 0.02, "population scale for the benchmark study")
+	seed := flag.Uint64("seed", 11, "world seed")
+	flag.Parse()
+
+	rep := report{Schema: "geobench/1", Scale: *scale, Seed: *seed}
+
+	log.Printf("geobench: single-process study (scale %g)", *scale)
+	rep.SingleProcess = runSingle(*scale, *seed)
+
+	for _, n := range []int{1, 2, 4} {
+		log.Printf("geobench: fabric study, %d worker(s)", n)
+		rep.Fabric = append(rep.Fabric, runFabric(*scale, *seed, n))
+	}
+
+	log.Printf("geobench: journaled cold run + resume replay")
+	rep.Resume = runResume(*scale, *seed)
+
+	log.Printf("geobench: shard wire encoding")
+	rep.Encode = runEncode()
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s", b)
+	log.Printf("geobench: wrote %s", *out)
+}
+
+// wall reads the sanctioned wall-clock seam.
+func wall() time.Time { return telemetry.Wall{}.Now() }
+
+// world pins the benchmark calibration (the chaos matrix's own).
+func world(scale float64, seed uint64) geoblock.WorldConfig {
+	cfg := geoblock.DefaultWorldConfig()
+	cfg.Seed = seed
+	cfg.Scale = scale
+	return cfg
+}
+
+func runSingle(scale float64, seed uint64) study {
+	wcfg := world(scale, seed)
+	s := geoblock.New(geoblock.Options{World: &wcfg, Metrics: telemetry.New()})
+	start := wall()
+	r := s.RunTop10K(geoblock.Top10KConfig{})
+	return timed(0, start, len(r.Initial.Samples))
+}
+
+func runFabric(scale float64, seed uint64, nWorkers int) study {
+	wcfg := world(scale, seed)
+	coord := geoblock.NewFabric(geoblock.FabricOptions{
+		Study:   geoblock.FabricStudySpec{World: wcfg},
+		Metrics: telemetry.New(),
+	})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	start := wall()
+	for i := 0; i < nWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := geoblock.NewFabricWorker(ctx, geoblock.FabricWorkerOptions{
+				Coordinator: srv.URL,
+				Name:        fmt.Sprintf("bench-%d", i),
+				Sleep:       func(time.Duration) { runtime.Gosched() },
+			})
+			if err != nil {
+				log.Fatalf("geobench: worker %d: %v", i, err)
+			}
+			if err := w.Run(ctx); err != nil {
+				log.Fatalf("geobench: worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	s := geoblock.New(geoblock.Options{World: &wcfg, Metrics: telemetry.New(), Fabric: coord})
+	r := s.RunTop10K(geoblock.Top10KConfig{})
+	if err := s.Err(); err != nil {
+		log.Fatalf("geobench: fabric study: %v", err)
+	}
+	coord.FinishStudy()
+	wg.Wait()
+	return timed(nWorkers, start, len(r.Initial.Samples))
+}
+
+func runResume(scale float64, seed uint64) resumeStats {
+	dir, err := os.MkdirTemp("", "geobench-journal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	run := func() float64 {
+		st, err := geoblock.OpenRunStore(dir, geoblock.RunStoreOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wcfg := world(scale, seed)
+		s := geoblock.New(geoblock.Options{World: &wcfg, Metrics: telemetry.New(), Store: st})
+		start := wall()
+		s.RunTop10K(geoblock.Top10KConfig{})
+		secs := wall().Sub(start).Seconds()
+		if err := s.Err(); err != nil {
+			log.Fatalf("geobench: journaled study: %v", err)
+		}
+		st.Close()
+		return secs
+	}
+	cold := run()
+	// Second run over the same journal: every phase is already
+	// committed, so the scans replay from disk instead of executing.
+	resume := run()
+	return resumeStats{ColdSeconds: cold, ResumeSeconds: resume, Speedup: cold / resume}
+}
+
+func runEncode() encodeStats {
+	const perShard = 64
+	const iters = 2000
+	samples := make([]scanner.Sample, perShard)
+	for i := range samples {
+		samples[i] = scanner.Sample{Domain: int32(i), Country: 7, Seed: uint64(i) * 2654435761}
+	}
+	cp := runstore.Checkpoint{Seq: 1, Country: "IR", Tasks: perShard, Samples: perShard}
+
+	start := wall()
+	var sink int
+	for i := 0; i < iters; i++ {
+		sink += len(runstore.EncodeShardFrames(samples, cp))
+	}
+	elapsed := wall().Sub(start)
+	if sink == 0 {
+		log.Fatal("geobench: encode produced no bytes")
+	}
+	records := iters * (perShard + 1)
+	return encodeStats{Records: records, NsPerRecord: float64(elapsed.Nanoseconds()) / float64(records)}
+}
+
+func timed(workers int, start time.Time, samples int) study {
+	secs := wall().Sub(start).Seconds()
+	return study{Workers: workers, Seconds: secs, Samples: samples, SamplesPerSec: float64(samples) / secs}
+}

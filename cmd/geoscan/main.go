@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	stdnet "net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +43,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this file (.json for JSON, else text)")
 	storeDir := flag.String("store", "", "journal every scan phase to this directory (crash-safe; see -resume)")
 	resume := flag.Bool("resume", false, "resume an interrupted run from the -store journal instead of refusing it")
+	fabricAddr := flag.String("fabric", "", "serve a distributed-scan coordinator on this address; residential scan phases then run on scanworker processes instead of in-process")
+	fabricReady := flag.String("fabric-ready-file", "", "write the coordinator's resolved listen address to this file (for scripts that spawn workers)")
 	flag.Parse()
 
 	// Ctrl-C cancels in-flight scans; studies then return partial
@@ -73,6 +76,46 @@ func main() {
 		opts.Log = func(format string, args ...any) {
 			log.Printf(format, args...)
 		}
+	}
+
+	// -fabric: become the coordinator of a distributed study. The world
+	// calibration is pinned explicitly so workers regenerate the exact
+	// same world from the study spec.
+	var coord *geoblock.FabricCoordinator
+	if *fabricAddr != "" {
+		wcfg := geoblock.DefaultWorldConfig()
+		wcfg.Seed = *seed
+		wcfg.Scale = *scale
+		spec := geoblock.FabricStudySpec{World: wcfg}
+		if *faultsFlag != "" {
+			spec.Faults = &geoblock.FabricFaultSpec{
+				Seed:    *faultSeed,
+				Profile: *faultsFlag,
+				Country: strings.ToUpper(*faultCountry),
+			}
+		}
+		coord = geoblock.NewFabric(geoblock.FabricOptions{Study: spec, Metrics: reg})
+		ln, lerr := stdnet.Listen("tcp", *fabricAddr)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "geoscan: fabric listener: %v\n", lerr)
+			os.Exit(2)
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "geoscan: fabric server: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		if *fabricReady != "" {
+			if werr := os.WriteFile(*fabricReady, []byte(ln.Addr().String()), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "geoscan: fabric-ready-file: %v\n", werr)
+				os.Exit(2)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "geoscan: fabric coordinator on http://%s (start workers: scanworker -coordinator http://%s)\n", ln.Addr(), ln.Addr())
+		opts.World = &wcfg
+		opts.Fabric = coord
 	}
 	sys := geoblock.New(opts)
 	out := os.Stdout
@@ -183,10 +226,26 @@ func main() {
 	}
 
 	stopProgress()
+	if coord != nil {
+		coord.FinishStudy()
+		// Grace period: let polling workers observe study-done and exit
+		// cleanly before the coordinator endpoint disappears.
+		time.Sleep(time.Second) //geolint:allow determinism worker-drain grace period on the real wall clock
+	}
 	if *metricsOut != "" {
 		if err := reg.Snapshot().WriteFile(*metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "geoscan: metrics-out: %v\n", err)
 		}
+	}
+	// A study that lost a phase (cancellation, journal severance, a
+	// failed fabric phase) printed partial tables; say so and exit
+	// non-zero, naming the phase that died.
+	if err := sys.Err(); err != nil {
+		if store != nil {
+			store.Close()
+		}
+		fmt.Fprintf(os.Stderr, "geoscan: study aborted: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	stdnet "net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,9 +48,20 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this file (.json for JSON, else text)")
 	storeDir := flag.String("store", "", "journal the scan to this directory (crash-safe; see -resume)")
 	resume := flag.Bool("resume", false, "resume an interrupted scan from the -store journal instead of refusing it")
+	serveFabric := flag.String("serve-fabric", "", "serve a distributed-scan coordinator on this address; the scan executes on scanworker processes instead of in-process")
+	fabricReady := flag.String("fabric-ready-file", "", "write the coordinator's resolved listen address to this file (for scripts that spawn workers)")
 	flag.Parse()
 
-	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale})
+	// The world calibration is pinned explicitly (not via Seed/Scale
+	// shorthand) because -serve-fabric ships it to workers verbatim.
+	wcfg := geoblock.DefaultWorldConfig()
+	if *seed != 0 {
+		wcfg.Seed = *seed
+	}
+	if *scale != 0 {
+		wcfg.Scale = *scale
+	}
+	sys := geoblock.New(geoblock.Options{World: &wcfg})
 	net := proxy.NewNetwork(sys.World)
 	cls := fingerprint.NewClassifier()
 
@@ -82,6 +94,39 @@ func main() {
 		}
 		net.SetFaults(inj)
 		fmt.Fprintf(os.Stderr, "lumscan: chaos profile %q (seed %d) active\n", *faultsFlag, *faultSeed)
+	}
+
+	// -serve-fabric: lease the scan's shards to worker processes instead
+	// of fetching in-process. Output — samples, outages, journal — stays
+	// byte-identical; only the fetching moves.
+	var coord *geoblock.FabricCoordinator
+	if *serveFabric != "" {
+		spec := geoblock.FabricStudySpec{World: wcfg}
+		if *faultsFlag != "" {
+			profile := geoblock.FabricFaultSpec{Seed: *faultSeed, Profile: *faultsFlag, Country: strings.ToUpper(*faultCountry)}
+			spec.Faults = &profile
+		}
+		coord = geoblock.NewFabric(geoblock.FabricOptions{Study: spec, Metrics: reg})
+		coord.BindWorld(sys.World)
+		ln, lerr := stdnet.Listen("tcp", *serveFabric)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "lumscan: fabric listener: %v\n", lerr)
+			os.Exit(2)
+		}
+		fsrv := &http.Server{Handler: coord.Handler()}
+		go func() {
+			if serr := fsrv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "lumscan: fabric server: %v\n", serr)
+			}
+		}()
+		defer fsrv.Close()
+		if *fabricReady != "" {
+			if werr := os.WriteFile(*fabricReady, []byte(ln.Addr().String()), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "lumscan: fabric-ready-file: %v\n", werr)
+				os.Exit(2)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "lumscan: fabric coordinator on http://%s (start workers: scanworker -coordinator http://%s)\n", ln.Addr(), ln.Addr())
 	}
 
 	var domains []string
@@ -173,6 +218,9 @@ func main() {
 			domain, cc, s.Attempt, s.Status, s.BodyLen, s.ExitIP, page)
 	}}
 	runScan := func(cfg lumscan.Config, sk lumscan.Sink) error {
+		if coord != nil {
+			return coord.RunPhase(ctx, domains, countries, tasks, cfg, sk)
+		}
 		return lumscan.ScanStream(ctx, net, domains, countries, tasks, cfg, sk)
 	}
 	var err error
@@ -188,13 +236,19 @@ func main() {
 		err = runScan(cfg, sink)
 	}
 	stopProgress()
+	if coord != nil {
+		coord.FinishStudy()
+		// Grace period: let polling workers observe study-done and exit
+		// cleanly before the coordinator endpoint disappears.
+		time.Sleep(time.Second) //geolint:allow determinism worker-drain grace period on the real wall clock
+	}
 	if *metricsOut != "" {
 		if werr := reg.Snapshot().WriteFile(*metricsOut); werr != nil {
 			fmt.Fprintf(os.Stderr, "lumscan: metrics-out: %v\n", werr)
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lumscan: interrupted: %v\n", err)
+		fmt.Fprintf(os.Stderr, "lumscan: phase %q failed: %v\n", cfg.Phase, err)
 		os.Exit(1)
 	}
 }

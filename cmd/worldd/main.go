@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"geoblock"
@@ -41,15 +42,25 @@ func main() {
 	// The daemon is a real server, so its telemetry runs on the wall
 	// clock; /debug/metrics serves the live registry.
 	reg := telemetry.NewWithClock(telemetry.Wall{})
-	sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale, Metrics: reg})
-	mux := newMux(sys, reg)
+
+	// The listener comes up immediately; the world (seconds of
+	// generation at paper scale) loads in the background. /healthz is
+	// live from the first instant, /readyz flips to 200 — and the
+	// world-backed endpoints stop answering 503 — once the load lands.
+	var holder atomic.Pointer[geoblock.System]
+	mux := newMux(&holder, reg)
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           countRequests(reg, mux),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("worldd: %d domains simulated; serving on %s", len(sys.World.Top10K()), *addr)
+	go func() {
+		sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale, Metrics: reg})
+		holder.Store(sys)
+		log.Printf("worldd: %d domains simulated; ready", len(sys.World.Top10K()))
+	}()
+	log.Printf("worldd: serving on %s (world generating; poll /readyz)", *addr)
 	log.Printf("try: curl 'http://localhost%s/?host=airbnb.fr&from=IR'", *addr)
 	log.Printf("metrics: curl 'http://localhost%s/debug/metrics'", *addr)
 
@@ -74,12 +85,27 @@ func main() {
 	}
 }
 
-// newMux builds the daemon's routing table. Factored out of main so
-// tests can drive it through httptest without a listener.
-func newMux(sys *geoblock.System, reg *telemetry.Registry) *http.ServeMux {
+// newMux builds the daemon's routing table over a System holder that
+// fills asynchronously: world-backed endpoints answer 503 until the
+// world lands. Factored out of main so tests can drive it through
+// httptest without a listener.
+func newMux(holder *atomic.Pointer[geoblock.System], reg *telemetry.Registry) *http.ServeMux {
+	// ready gates a world-backed handler: 503 before the world exists.
+	ready := func(h func(sys *geoblock.System, w http.ResponseWriter, r *http.Request)) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sys := holder.Load()
+			if sys == nil {
+				http.Error(w, "world still generating; poll /readyz", http.StatusServiceUnavailable)
+				return
+			}
+			h(sys, w, r)
+		})
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/", getOnly(vnet.Handler(sys.World)))
-	mux.Handle("/domains", getOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("/", getOnly(ready(func(sys *geoblock.System, w http.ResponseWriter, r *http.Request) {
+		vnet.Handler(sys.World).ServeHTTP(w, r)
+	})))
+	mux.Handle("/domains", getOnly(ready(func(sys *geoblock.System, w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "# geoblocking domains in the simulated Top 10K (ground truth)")
 		for _, d := range sys.World.Top10K() {
 			if len(d.GeoRules) == 0 && !d.AirbnbStyle && !d.GAEHosted {
@@ -109,6 +135,17 @@ func newMux(sys *geoblock.System, reg *telemetry.Registry) *http.ServeMux {
 	// health checks stay cheap and method-agnostic tooling (HEAD) works.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+
+	// Readiness probe: distinct from liveness — the process is alive the
+	// moment the listener binds, but world-backed endpoints only work
+	// once generation finishes. 503 until then, 200 after.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if holder.Load() == nil {
+			http.Error(w, "world still generating", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 
 	mux.HandleFunc("/gallery", func(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"geoblock"
@@ -15,9 +16,47 @@ func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	reg := telemetry.New()
 	sys := geoblock.New(geoblock.Options{Scale: 0.02, Metrics: reg})
-	srv := httptest.NewServer(countRequests(reg, newMux(sys, reg)))
+	var holder atomic.Pointer[geoblock.System]
+	holder.Store(sys)
+	srv := httptest.NewServer(countRequests(reg, newMux(&holder, reg)))
 	t.Cleanup(srv.Close)
 	return srv
+}
+
+// TestReadiness drives the holder through its lifecycle: before the
+// world lands, /healthz is live but /readyz and every world-backed
+// endpoint answer 503; after, everything flips to 200.
+func TestReadiness(t *testing.T) {
+	reg := telemetry.New()
+	var holder atomic.Pointer[geoblock.System]
+	srv := httptest.NewServer(countRequests(reg, newMux(&holder, reg)))
+	defer srv.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("GET /healthz before load: status %d, want 200", got)
+	}
+	for _, path := range []string{"/readyz", "/?host=example.com&from=US", "/domains"} {
+		if got := status(path); got != http.StatusServiceUnavailable {
+			t.Errorf("GET %s before load: status %d, want 503", path, got)
+		}
+	}
+
+	holder.Store(geoblock.New(geoblock.Options{Scale: 0.02, Metrics: reg}))
+	for _, path := range []string{"/readyz", "/domains"} {
+		if got := status(path); got != http.StatusOK {
+			t.Errorf("GET %s after load: status %d, want 200", path, got)
+		}
+	}
 }
 
 func TestHealthz(t *testing.T) {

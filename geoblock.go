@@ -24,6 +24,7 @@ import (
 	"context"
 
 	"geoblock/internal/cfrules"
+	"geoblock/internal/fabric"
 	"geoblock/internal/geo"
 	"geoblock/internal/ooni"
 	"geoblock/internal/pipeline"
@@ -76,7 +77,39 @@ type (
 	RunStoreOptions = runstore.Options
 	// RunStorePhase is the journaled state of one study phase.
 	RunStorePhase = runstore.PhaseInfo
+	// FabricCoordinator distributes a study's scan phases across worker
+	// processes (see NewFabric and Options.Fabric).
+	FabricCoordinator = fabric.Coordinator
+	// FabricOptions tunes a FabricCoordinator.
+	FabricOptions = fabric.Options
+	// FabricStudySpec is what workers regenerate the study's world from.
+	FabricStudySpec = fabric.StudySpec
+	// FabricFaultSpec replicates a named chaos profile on every worker.
+	FabricFaultSpec = fabric.FaultSpec
+	// FabricWorker executes leased scan units for a remote coordinator.
+	FabricWorker = fabric.Worker
+	// FabricWorkerOptions tunes a FabricWorker.
+	FabricWorkerOptions = fabric.WorkerOptions
 )
+
+// ErrFabricWorkerKilled is returned by a FabricWorker's Run when its
+// chaos kill hook fires mid-study.
+var ErrFabricWorkerKilled = fabric.ErrKilled
+
+// NewFabric builds the coordinator side of a distributed study. Serve
+// coordinator.Handler() over HTTP, pass the coordinator via
+// Options.Fabric, and the study's residential scan phases execute on
+// whatever workers (cmd/scanworker, or NewFabricWorker embedders) lease
+// from it — with output byte-identical to an in-process run. Call
+// FinishStudy when the study returns so workers exit.
+func NewFabric(opts FabricOptions) *FabricCoordinator { return fabric.New(opts) }
+
+// NewFabricWorker dials a coordinator and regenerates its world; the
+// returned worker's Run loop executes leased units until the study
+// completes.
+func NewFabricWorker(ctx context.Context, opts FabricWorkerOptions) (*FabricWorker, error) {
+	return fabric.NewWorker(ctx, opts)
+}
 
 // OpenRunStore opens (or creates) a run journal in dir, recovering
 // from any crash-torn tail. Attach the store via Options.Store and a
@@ -114,6 +147,11 @@ type Options struct {
 	// resumes interrupted studies from their checkpoints (see
 	// OpenRunStore). Results are byte-identical with or without it.
 	Store *RunStore
+	// Fabric, when non-nil, routes every residential scan phase through
+	// the distributed coordinator instead of the in-process engine (see
+	// NewFabric). Composes with Store: the coordinator's completions are
+	// journaled and resumed exactly like local work.
+	Fabric *FabricCoordinator
 }
 
 // System is a simulated Internet plus the measurement apparatus over
@@ -147,8 +185,17 @@ func New(opts Options) *System {
 		s.Metrics = opts.Metrics
 	}
 	s.Store = opts.Store
+	if opts.Fabric != nil {
+		opts.Fabric.BindWorld(w)
+		s.Runner = opts.Fabric.RunPhase
+	}
 	return &System{World: w, study: s}
 }
+
+// Err reports the first scan abort the system's study observed — nil
+// after a complete run, a pipeline.PhaseError naming the truncated
+// phase otherwise.
+func (s *System) Err() error { return s.study.Err() }
 
 // Metrics exposes the system's telemetry registry: scan counters, error
 // tallies, and the phase-span tree accumulate here as studies run.

@@ -216,6 +216,27 @@ func (in *Injector) StoreCrash(span int64) func(written int64) bool {
 	}
 }
 
+// WorkerDeath returns a fabric worker kill hook: the worker dies after
+// executing a seeded number of leased units, drawn uniformly from
+// [1, span], without reporting the last one — mid-shard from the
+// coordinator's view, exactly like a machine that lost power. The
+// threshold is a pure function of the injector's seed; because unit
+// execution is deterministic, the re-issued lease reproduces the dead
+// worker's result bit for bit, which is what the fabric matrix asserts.
+func (in *Injector) WorkerDeath(span int64) func(executed int64) bool {
+	if span < 1 {
+		span = 1
+	}
+	at := 1 + int64(stats.Mix64(in.seed^hashString("worker-death"))%uint64(span))
+	return func(executed int64) bool {
+		fired := executed >= at
+		if fired {
+			in.count("worker-death", "")
+		}
+		return fired
+	}
+}
+
 // Request implements proxy.FaultHook: one draw, split across the
 // profile's per-request rates.
 func (in *Injector) Request(cc geo.CountryCode, exit geo.IP, host string, seed uint64) proxy.FaultVerdict {

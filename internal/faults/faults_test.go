@@ -267,3 +267,73 @@ func TestStoreCrashSeededThreshold(t *testing.T) {
 		t.Fatalf("store-crash counter = %d, want 1", fired)
 	}
 }
+
+// TestWorkerDeathSeededThreshold mirrors the StoreCrash contract for
+// the fabric's worker kill hook: the death point is a pure function of
+// the seed, drawn from [1, span], and latches — a worker that should
+// have died never comes back.
+func TestWorkerDeathSeededThreshold(t *testing.T) {
+	firstFire := func(in *Injector, span int64) int64 {
+		kill := in.WorkerDeath(span)
+		for executed := int64(0); executed <= span+1; executed++ {
+			if kill(executed) {
+				for e := executed; e <= span+1; e++ {
+					if !kill(e) {
+						t.Fatalf("kill hook un-fired at executed=%d after firing at %d", e, executed)
+					}
+				}
+				return executed
+			}
+		}
+		t.Fatalf("kill hook never fired within span %d", span)
+		return 0
+	}
+
+	for _, span := range []int64{1, 8, 100} {
+		a := firstFire(New(7), span)
+		b := firstFire(New(7), span)
+		if a != b {
+			t.Fatalf("span %d: same seed fired at %d and %d", span, a, b)
+		}
+		if a < 1 || a > span {
+			t.Fatalf("span %d: kill point %d outside [1, %d]", span, a, span)
+		}
+		if other := firstFire(New(8), 100); span == 100 && other == a {
+			// Different seeds *may* collide, but across a span of 100 a
+			// collision is a 1% draw; treat it as a red flag.
+			t.Logf("seeds 7 and 8 share kill point %d (possible but suspicious)", a)
+		}
+	}
+
+	// A degenerate span clamps to 1: the worker dies on its first unit.
+	if at := firstFire(New(3), 1); at != 1 {
+		t.Fatalf("span 1 fired at %d, want 1", at)
+	}
+	kill := New(3).WorkerDeath(-5)
+	if !kill(1) {
+		t.Fatal("negative span did not clamp to die-on-first-unit")
+	}
+
+	// The fired verdict lands in the instrumented counter series.
+	reg := telemetry.New()
+	in := New(7).Instrument(reg)
+	k := in.WorkerDeath(1)
+	k(0)
+	k(1)
+	var fired int64
+	for _, c := range reg.Snapshot().Counters {
+		if strings.Contains(c.Name, "worker-death") {
+			fired = c.Value
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("worker-death counter = %d, want 1", fired)
+	}
+}
+
+// TestInjectorSeedAccessor: replay reporting reads the seed back.
+func TestInjectorSeedAccessor(t *testing.T) {
+	if got := New(42).Seed(); got != 42 {
+		t.Fatalf("Seed() = %d, want 42", got)
+	}
+}

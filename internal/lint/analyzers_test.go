@@ -19,6 +19,9 @@ func TestDeterminism(t *testing.T) {
 		"geoblock/internal/runstore/dfix",
 		// Telemetry: wall clock legal only in the clock.go Clock seam.
 		"geoblock/internal/telemetry/tfix",
+		// The fabric: lease deadlines and worker backoff must flow
+		// through the injected clock/Sleep seams.
+		"geoblock/internal/fabric/dfix",
 		// Out of scope: the wall clock is legal off the scan path.
 		"geoblock/internal/cdnid/dfix")
 }
@@ -40,5 +43,6 @@ func TestOutcomecheck(t *testing.T) {
 
 func TestNakedgo(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.Nakedgo,
-		"geoblock/internal/scanner/ngfix")
+		"geoblock/internal/scanner/ngfix",
+		"geoblock/internal/fabric/ngfix")
 }

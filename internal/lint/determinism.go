@@ -29,6 +29,7 @@ var determinismScope = scope(
 	"geoblock/internal/runstore/...",
 	"geoblock/internal/worldgen/...",
 	"geoblock/internal/telemetry/...",
+	"geoblock/internal/fabric/...",
 )
 
 // wallClockFuncs are the time package functions that read or wait on

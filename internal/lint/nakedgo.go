@@ -24,6 +24,7 @@ var Nakedgo = &Analyzer{
 		"geoblock/internal/proxy/...",
 		"geoblock/internal/lumscan/...",
 		"geoblock/internal/faults/...",
+		"geoblock/internal/fabric/...",
 	),
 	Run: runNakedgo,
 }

@@ -1,0 +1,31 @@
+// Fixture: the determinism analyzer inside the fabric
+// (geoblock/internal/fabric/...). Lease deadlines come from the
+// coordinator's injected telemetry.Clock and worker backoff from the
+// injected Sleep hook; a direct wall-clock read here would let lease
+// expiry — and therefore which worker re-executes a unit — depend on
+// real time, silently breaking the byte-identity chaos matrix.
+package dfix
+
+import "time"
+
+// Reading real time for a lease deadline is the violation.
+func leaseDeadline(ttl time.Duration) time.Time {
+	return time.Now().Add(ttl) // want "time.Now reads the wall clock"
+}
+
+// So is sleeping the poll loop on the real clock instead of the
+// injected Sleep hook.
+func pollBackoff() {
+	time.Sleep(200 * time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// An exact-line suppression survives the scope extension: the worker
+// CLI wires time.Sleep in as the hook on purpose.
+func wiredSleep() func(time.Duration) {
+	return time.Sleep //geolint:allow determinism the CLI injects the wall clock at the edge
+}
+
+// TTL arithmetic never observes real time and stays legal.
+const defaultTTL = 30 * time.Second
+
+func halfTTL(ttl time.Duration) time.Duration { return ttl / 2 }

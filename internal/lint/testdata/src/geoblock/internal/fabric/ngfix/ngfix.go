@@ -1,0 +1,38 @@
+// Fixture: the nakedgo analyzer inside the fabric
+// (geoblock/internal/fabric/...). The coordinator's HTTP handlers and
+// the worker loop are synchronous by design — a stray goroutine here
+// could complete a unit after its phase was torn down, racing the
+// assembly's single-writer journal discipline.
+package ngfix
+
+import "sync"
+
+// Firing a completion off to the side with no drain tie is the
+// violation.
+func completeAsync(post func()) {
+	go post() // want "goroutine launch in the scan path"
+}
+
+// A bare literal is no better.
+func leaseLoop(step func()) {
+	go func() { // want "naked goroutine in the scan path"
+		for {
+			step()
+		}
+	}()
+}
+
+// The sanctioned shape: every worker goroutine tied to a WaitGroup so
+// the fabric drains before results are read.
+func runWorkers(workers []func()) {
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}

@@ -63,6 +63,11 @@ type (
 	OutageSink = scanner.OutageSink
 	// Coverage is the attained-vs-requested summary of a run.
 	Coverage = scanner.Coverage
+	// BodyPolicy is the serializable body-retention policy.
+	BodyPolicy = scanner.BodyPolicy
+	// WorkUnit is one leasable scheduler shard (the distributed fabric's
+	// unit of work).
+	WorkUnit = scanner.WorkUnit
 )
 
 const (
@@ -79,6 +84,10 @@ const (
 	ErrRedirects = scanner.ErrRedirects
 	ErrLuminati  = scanner.ErrLuminati
 	ErrNoExits   = scanner.ErrNoExits
+
+	BodyDefault = scanner.BodyDefault
+	BodyNone    = scanner.BodyNone
+	BodyAll     = scanner.BodyAll
 )
 
 // CrossProduct builds the full task matrix.

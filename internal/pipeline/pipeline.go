@@ -9,6 +9,7 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strconv"
 
@@ -48,6 +49,12 @@ type Study struct {
 	// come from the same study configuration (world seed and inputs) —
 	// each phase's fingerprint is validated on resume.
 	Store *runstore.Store
+	// Runner, when non-nil, replaces the in-process engine for every
+	// residential scan phase — the distributed fabric's coordinator
+	// plugs in here. VPS phases always run in-process (the datacenter
+	// fleet is cheap and local). The runner composes with Store: it runs
+	// under the journal exactly where lumscan.ScanStream would.
+	Runner ScanRunner
 
 	// phaseSeq counts scan invocations per phase name, so repeated
 	// invocations (the explore verify loop) get distinct journal keys.
@@ -61,6 +68,11 @@ type Study struct {
 	// through Err instead of silently truncating the tables.
 	scanErr error
 }
+
+// ScanRunner executes one residential scan phase. Its contract is the
+// engine's: deliver samples to sink in canonical order, byte-identical
+// to lumscan.ScanStream over the same inputs.
+type ScanRunner func(ctx context.Context, domains []string, countries []geo.CountryCode, tasks []lumscan.Task, cfg lumscan.Config, sink lumscan.Sink) error
 
 // New assembles a study over w with a fresh proxy mesh.
 func New(w *worldgen.World) *Study {
@@ -119,10 +131,22 @@ func (s *Study) noteScanErr(phase string, err error) {
 		return
 	}
 	if s.scanErr == nil {
-		s.scanErr = err
+		s.scanErr = &PhaseError{Phase: phase, Err: err}
 	}
 	s.logf("%s: scan aborted: %v", phase, err)
 }
+
+// PhaseError is the error Study.Err reports: the underlying scan abort
+// tagged with the pipeline phase it struck, so operators see which
+// phase truncated the study. Unwrap preserves errors.Is matching on
+// the cause (runstore.ErrSevered, context.Canceled, ...).
+type PhaseError struct {
+	Phase string
+	Err   error
+}
+
+func (e *PhaseError) Error() string { return fmt.Sprintf("phase %s: %v", e.Phase, e.Err) }
+func (e *PhaseError) Unwrap() error { return e.Err }
 
 // Err reports the first scan abort the study observed, or nil if every
 // phase ran to completion. A non-nil Err means the study's results are
@@ -251,7 +275,7 @@ func (s *Study) rankCountriesByBlocking(safeDomains []string, safeRanks []int, c
 
 	cfg := s.scanConfig("country-rank", span)
 	cfg.Samples = samples
-	cfg.KeepBody = func(int, int) bool { return false }
+	cfg.Bodies = lumscan.BodyNone
 	counts := make([]int, len(countries))
 	s.noteScanErr("country-rank", s.scanStream("country-rank", cfg, auxDomains, countries,
 		lumscan.CrossProduct(len(auxDomains), len(countries)),
@@ -327,8 +351,14 @@ func fnv(s string) uint64 {
 // Store.Scan — journaling live work, replaying committed work —
 // otherwise. name keys the journal; it is usually cfg.Phase.
 func (s *Study) scanStream(name string, cfg lumscan.Config, domains []string, countries []geo.CountryCode, tasks []lumscan.Task, sink lumscan.Sink) error {
-	if s.Store == nil {
+	run := func(cfg lumscan.Config, sink lumscan.Sink) error {
+		if s.Runner != nil {
+			return s.Runner(s.ctx(), domains, countries, tasks, cfg, sink)
+		}
 		return lumscan.ScanStream(s.ctx(), s.Net, domains, countries, tasks, cfg, sink)
+	}
+	if s.Store == nil {
+		return run(cfg, sink)
 	}
 	key := s.phaseKey(name)
 	return s.Store.Scan(runstore.Scan{
@@ -336,9 +366,7 @@ func (s *Study) scanStream(name string, cfg lumscan.Config, domains []string, co
 		Fingerprint: s.scanFingerprint(key, cfg, len(domains), len(countries), len(tasks)),
 		Cfg:         cfg,
 		Sink:        sink,
-		Run: func(cfg lumscan.Config, sink lumscan.Sink) error {
-			return lumscan.ScanStream(s.ctx(), s.Net, domains, countries, tasks, cfg, sink)
-		},
+		Run:         run,
 	})
 }
 

@@ -322,7 +322,11 @@ func (s *Store) recoverFrom(segs []string) error {
 func (s *Store) scanSegment(name string, apply func(rec Record, end int64) error) (int64, error) {
 	f, err := os.Open(filepath.Join(s.dir, name))
 	if err != nil {
-		return -1, err
+		// A listed-but-unopenable segment is not a torn tail: the
+		// manifest promised committed data this directory no longer
+		// serves. Name the segment — "file not found" alone reads like a
+		// fresh journal when it is actually data loss.
+		return -1, fmt.Errorf("runstore: segment %s is listed in the manifest but unreadable (a missing mid-sequence segment is data loss, not a crash artifact): %w", name, err)
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)

@@ -357,6 +357,47 @@ func TestCheckpointOrdering(t *testing.T) {
 	}
 }
 
+// TestMissingMidSequenceSegment: deleting a segment the manifest still
+// lists is data loss, not a crash artifact — a crash only ever tears
+// the tail. Open must refuse and the error must name the missing file,
+// because "no such file" alone reads like a fresh journal.
+func TestMissingMidSequenceSegment(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{SegmentBytes: 256})
+	ph, err := st.beginPhase("p", "phase", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 8; seq++ {
+		journalShard(t, st, ph, seq, 6)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments at a 256-byte budget; the test needs a middle one to delete", len(segs))
+	}
+	victim := segName(1)
+	if err := os.Remove(filepath.Join(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, Options{})
+	if err == nil {
+		t.Fatal("journal with a missing mid-sequence segment opened")
+	}
+	if !strings.Contains(err.Error(), victim) {
+		t.Fatalf("error does not name the missing segment %s: %v", victim, err)
+	}
+	if !strings.Contains(err.Error(), "data loss") {
+		t.Fatalf("error does not call out data loss: %v", err)
+	}
+}
+
 // TestBadManifestErrors: a manifest with a wrong header or junk lines
 // is corruption of fsync'd state, which errors rather than guesses.
 func TestBadManifestErrors(t *testing.T) {

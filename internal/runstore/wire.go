@@ -1,0 +1,77 @@
+// The fabric wire form: one completed shard rendered as the exact
+// framed records the journal would hold for it. A worker encodes its
+// unit result with EncodeShardFrames; the coordinator decodes, verifies
+// every CRC, and journals the same sample/checkpoint content through
+// its own store — so the coordinator's journal is a valid runstore
+// journal byte-for-byte, and crash/resume composes with distribution
+// for free.
+package runstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"geoblock/internal/scanner"
+)
+
+// EncodeShardFrames renders one completed shard as runstore-framed
+// records: the shard's samples in task order followed by its
+// checkpoint. The phase ID on the wire is always zero — the coordinator
+// re-homes records into its own journal's phase numbering.
+func EncodeShardFrames(samples []scanner.Sample, cp Checkpoint) []byte {
+	var out []byte
+	for i := range samples {
+		out = append(out, frame(encodeRecord(Record{Type: recSample, Sample: samples[i]}))...)
+	}
+	out = append(out, frame(encodeRecord(Record{Type: recCheckpoint, Checkpoint: cp}))...)
+	return out
+}
+
+// DecodeShardFrames parses a shard completion payload. Decoding is
+// strict — a torn frame, a CRC mismatch, trailing bytes, or any record
+// shape other than "zero or more samples, then exactly one checkpoint"
+// errors; a half-received completion must never be journaled.
+func DecodeShardFrames(b []byte) ([]scanner.Sample, Checkpoint, error) {
+	var samples []scanner.Sample
+	var cp Checkpoint
+	done := false
+	for len(b) > 0 {
+		if done {
+			return nil, cp, fmt.Errorf("runstore: %d trailing bytes after shard checkpoint", len(b))
+		}
+		if len(b) < frameHeader {
+			return nil, cp, fmt.Errorf("runstore: torn frame header (%d bytes)", len(b))
+		}
+		n := binary.LittleEndian.Uint32(b[0:4])
+		sum := binary.LittleEndian.Uint32(b[4:8])
+		if n > maxPayload || int(n) > len(b)-frameHeader {
+			return nil, cp, fmt.Errorf("runstore: frame length %d overruns payload", n)
+		}
+		payload := b[frameHeader : frameHeader+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return nil, cp, fmt.Errorf("runstore: frame CRC mismatch")
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return nil, cp, err
+		}
+		switch rec.Type {
+		case recSample:
+			samples = append(samples, rec.Sample)
+		case recCheckpoint:
+			cp = rec.Checkpoint
+			done = true
+		default:
+			return nil, cp, fmt.Errorf("runstore: unexpected record type %d in shard payload", rec.Type)
+		}
+		b = b[frameHeader+int(n):]
+	}
+	if !done {
+		return nil, cp, fmt.Errorf("runstore: shard payload carries no checkpoint")
+	}
+	if cp.Samples != len(samples) {
+		return nil, cp, fmt.Errorf("runstore: shard checkpoint claims %d samples, payload holds %d", cp.Samples, len(samples))
+	}
+	return samples, cp, nil
+}

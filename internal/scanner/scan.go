@@ -27,13 +27,7 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 	cfg = cfg.withDefaults()
 	pol := cfg.retryPolicy()
 
-	byCountry := make([][]Task, len(countries))
-	for _, t := range tasks {
-		byCountry[t.Country] = append(byCountry[t.Country], t)
-	}
-	shards := buildShards(byCountry, cfg.ShardSize, func(group int16, index int) uint64 {
-		return shardSlot(string(countries[group]), cfg.Phase, index)
-	})
+	shards := buildCountryShards(countries, tasks, cfg)
 	skip, err := resumePrefix(cfg, shards)
 	if err != nil {
 		return err

@@ -170,8 +170,47 @@ func (c Coverage) Full() bool { return c.Attained == c.Requested }
 
 // Task is one (domain, country) pair to measure.
 type Task struct {
-	Domain  int32
-	Country int16
+	Domain  int32 `json:"d"`
+	Country int16 `json:"c"`
+}
+
+// BodyPolicy is the serializable form of the body-retention decision.
+// Config.KeepBody is a func and cannot cross a process boundary; a
+// distributed work unit ships the policy instead and every worker
+// derives the identical func from it.
+type BodyPolicy uint8
+
+const (
+	// BodyDefault keeps non-200/301/302 bodies — every block page is
+	// non-200. This is what a nil KeepBody has always meant.
+	BodyDefault BodyPolicy = iota
+	// BodyNone drops every body (status/length-only passes).
+	BodyNone
+	// BodyAll keeps every body.
+	BodyAll
+)
+
+func (p BodyPolicy) String() string {
+	switch p {
+	case BodyDefault:
+		return "default"
+	case BodyNone:
+		return "none"
+	case BodyAll:
+		return "all"
+	}
+	return "unknown"
+}
+
+// keep derives the KeepBody func the policy stands for.
+func (p BodyPolicy) keep() func(status, bodyLen int) bool {
+	switch p {
+	case BodyNone:
+		return func(int, int) bool { return false }
+	case BodyAll:
+		return func(int, int) bool { return true }
+	}
+	return func(status, _ int) bool { return status != 200 && status != 301 && status != 302 }
 }
 
 // DefaultShardSize is the task count per scheduler shard. Small enough
@@ -200,9 +239,15 @@ type Config struct {
 	// Headers are sent on every request. Use BrowserHeaders for the
 	// full browser set; a bare UA reproduces the ZGrab false positives.
 	Headers map[string]string
-	// KeepBody decides whether a sample retains its body. Nil keeps
-	// non-200 bodies (every block page is non-200).
+	// KeepBody decides whether a sample retains its body. Nil derives
+	// the func from Bodies (whose zero value keeps non-200 bodies —
+	// every block page is non-200). Prefer Bodies: a func cannot be
+	// serialized into a distributed work unit, so a scan with a custom
+	// KeepBody cannot run on the fabric.
 	KeepBody func(status, bodyLen int) bool
+	// Bodies is the serializable body-retention policy, consulted only
+	// when KeepBody is nil.
+	Bodies BodyPolicy
 	// Phase salts the per-sample seeds so that repeated passes over the
 	// same pairs draw fresh samples.
 	Phase string
@@ -265,7 +310,7 @@ func (c Config) withDefaults() Config {
 		c.Headers = BrowserHeaders()
 	}
 	if c.KeepBody == nil {
-		c.KeepBody = func(status, _ int) bool { return status != 200 && status != 301 && status != 302 }
+		c.KeepBody = c.Bodies.keep()
 	}
 	return c
 }
