@@ -12,11 +12,12 @@
 #                scheduler suites exercise the concurrent scan path)
 #   make cover   coverage with ratcheted floors for the scan engine, the
 #                fault-injection layer, the telemetry layer, the journal
-#                (runstore), and the lint suite
+#                (runstore), the verdict edge, and the lint suite
 #   make fuzz    short-budget fuzz pass over the hostile-input decoders:
-#                the journal's record decoder and the blockpage signature
-#                matcher (one `go test -fuzz` invocation per package; the
-#                corpus seeds still run under plain `make check`)
+#                the journal's record decoder, the blockpage signature
+#                matcher, and the verdict snapshot codec (one
+#                `go test -fuzz` invocation per package; the corpus
+#                seeds still run under plain `make check`)
 #   make bench   the scan engine benchmarks (collect vs streaming,
 #                sharded vs one-worker-per-country, instrumented vs bare)
 #   make profile the streaming scan benchmark under the CPU and memory
@@ -25,13 +26,19 @@
 #                coordinator plus three scanworker processes (one
 #                chaos-killed mid-shard) must journal byte-identically
 #                to a single-process run of the same scan
-#   make perf    regenerate the recorded perf trajectory (BENCH_6.json):
+#   make perf    regenerate the recorded perf trajectory (BENCH_7.json):
 #                samples/sec single-process vs 1/2/4 fabric workers,
-#                resume replay speedup, ns/record wire encoding
+#                resume replay speedup, ns/record wire encoding, and
+#                ns/lookup + allocs/lookup against the verdict snapshot
+#   make soak    the verdict edge's full soak: 32 concurrent clients, a
+#                live snapshot swap mid-run, zero dropped or incorrect
+#                verdicts, p99 service latency and in-process lookup
+#                floors enforced (the same test runs in a trimmed shape
+#                under plain `make check`)
 
 GO ?= go
 
-.PHONY: check lint race cover fuzz bench profile fabric-test perf
+.PHONY: check lint race cover fuzz bench profile fabric-test perf soak
 
 check:
 	$(GO) build ./...
@@ -61,7 +68,8 @@ cover:
 	check ./internal/lint 87; \
 	check ./internal/telemetry 94; \
 	check ./internal/runstore 89; \
-	check ./internal/fabric 75
+	check ./internal/fabric 75; \
+	check ./internal/verdict 85
 
 # `go test -fuzz` takes exactly one fuzz target per invocation, so each
 # decoder gets its own line. The budget is deliberately small: this is a
@@ -71,6 +79,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/runstore -run FuzzDecodeRecord -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/blockpage -run FuzzMatchSignature -fuzz FuzzMatchSignature -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verdict -run FuzzDecodeSnapshot -fuzz FuzzDecodeSnapshot -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test . -run xxx -bench 'BenchmarkScan(Collect|Streaming|SkewedSharded|Instrumented|ColdVsResume)' -benchtime 3x
@@ -84,4 +93,7 @@ fabric-test:
 	sh scripts/fabric_integration.sh
 
 perf:
-	$(GO) run ./cmd/geobench -out BENCH_6.json
+	$(GO) run ./cmd/geobench -out BENCH_7.json
+
+soak:
+	GEOBLOCK_SOAK=full $(GO) test ./cmd/worldd -run TestVerdictSoak -v -count=1

@@ -1,11 +1,12 @@
 // Command geobench records the engine's perf trajectory: it times the
 // Top-10K study single-process and distributed over 1/2/4 fabric
-// workers, measures the journal's crash/resume replay speedup, and
-// microbenchmarks the shard wire encoding, then writes the numbers as
-// JSON (BENCH_<pr>.json at the repo root by convention) so future
-// changes compare against a recorded baseline instead of anecdotes.
+// workers, measures the journal's crash/resume replay speedup,
+// microbenchmarks the shard wire encoding and the verdict snapshot's
+// lookup path, then writes the numbers as JSON (BENCH_<pr>.json at the
+// repo root by convention) so future changes compare against a
+// recorded baseline instead of anecdotes.
 //
-//	geobench -out BENCH_6.json
+//	geobench -out BENCH_7.json
 //
 // All timing flows through telemetry.Wall, the engine's one sanctioned
 // wall-clock seam; the workloads themselves stay deterministic, only
@@ -40,8 +41,9 @@ type report struct {
 	SingleProcess study   `json:"single_process"`
 	Fabric        []study `json:"fabric"`
 
-	Resume resumeStats `json:"resume"`
-	Encode encodeStats `json:"encode"`
+	Resume  resumeStats  `json:"resume"`
+	Encode  encodeStats  `json:"encode"`
+	Verdict verdictStats `json:"verdict"`
 }
 
 // study is one timed Top-10K run. Samples counts the initial-snapshot
@@ -66,16 +68,30 @@ type encodeStats struct {
 	NsPerRecord float64 `json:"ns_per_record"`
 }
 
+// verdictStats measures the verdict edge's serving primitive: lookups
+// against the immutable snapshot the study emits. The alloc count is a
+// hard invariant (the edge promises zero allocations per lookup), the
+// nanosecond figure is the trajectory number.
+type verdictStats struct {
+	Domains            int     `json:"domains"`
+	Countries          int     `json:"countries"`
+	Blocked            int     `json:"blocked"`
+	Lookups            int     `json:"lookups"`
+	NsPerVerdictLookup float64 `json:"ns_per_verdict_lookup"`
+	AllocsPerLookup    float64 `json:"allocs_per_lookup"`
+}
+
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	scale := flag.Float64("scale", 0.02, "population scale for the benchmark study")
 	seed := flag.Uint64("seed", 11, "world seed")
 	flag.Parse()
 
-	rep := report{Schema: "geobench/1", Scale: *scale, Seed: *seed}
+	rep := report{Schema: "geobench/2", Scale: *scale, Seed: *seed}
 
 	log.Printf("geobench: single-process study (scale %g)", *scale)
-	rep.SingleProcess = runSingle(*scale, *seed)
+	single, snap := runSingle(*scale, *seed)
+	rep.SingleProcess = single
 
 	for _, n := range []int{1, 2, 4} {
 		log.Printf("geobench: fabric study, %d worker(s)", n)
@@ -87,6 +103,9 @@ func main() {
 
 	log.Printf("geobench: shard wire encoding")
 	rep.Encode = runEncode()
+
+	log.Printf("geobench: verdict snapshot lookups")
+	rep.Verdict = runVerdict(snap)
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -111,12 +130,14 @@ func world(scale float64, seed uint64) geoblock.WorldConfig {
 	return cfg
 }
 
-func runSingle(scale float64, seed uint64) study {
+// runSingle times the in-process study and keeps the verdict snapshot
+// it emits — the same matrix the verdict microbenchmark then serves.
+func runSingle(scale float64, seed uint64) (study, *geoblock.VerdictSnapshot) {
 	wcfg := world(scale, seed)
 	s := geoblock.New(geoblock.Options{World: &wcfg, Metrics: telemetry.New()})
 	start := wall()
 	r := s.RunTop10K(geoblock.Top10KConfig{})
-	return timed(0, start, len(r.Initial.Samples))
+	return timed(0, start, len(r.Initial.Samples)), s.Verdicts()
 }
 
 func runFabric(scale float64, seed uint64, nWorkers int) study {
@@ -208,6 +229,39 @@ func runEncode() encodeStats {
 	}
 	records := iters * (perShard + 1)
 	return encodeStats{Records: records, NsPerRecord: float64(elapsed.Nanoseconds()) / float64(records)}
+}
+
+// runVerdict hammers the snapshot's Lookup across its whole
+// domain×country universe: nanoseconds per lookup from the wall clock,
+// allocations per lookup from the heap's Mallocs counter (which must
+// come out at zero — the serving path is a map index plus a bit test).
+func runVerdict(snap *geoblock.VerdictSnapshot) verdictStats {
+	if snap == nil {
+		log.Fatal("geobench: study emitted no verdict snapshot")
+	}
+	doms := snap.Domains()
+	ccs := snap.Countries()
+	const n = 4_000_000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := wall()
+	var sink bool
+	for i := 0; i < n; i++ {
+		v, _ := snap.Lookup(doms[i%len(doms)], ccs[i%len(ccs)])
+		sink = v.Blocked
+	}
+	elapsed := wall().Sub(start)
+	runtime.ReadMemStats(&after)
+	_ = sink
+	return verdictStats{
+		Domains:            len(doms),
+		Countries:          len(ccs),
+		Blocked:            snap.Blocked(),
+		Lookups:            n,
+		NsPerVerdictLookup: float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerLookup:    float64(after.Mallocs-before.Mallocs) / float64(n),
+	}
 }
 
 func timed(workers int, start time.Time, samples int) study {

@@ -29,6 +29,7 @@ import (
 	"geoblock"
 	"geoblock/internal/blockpage"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/verdict"
 	"geoblock/internal/vnet"
 	"geoblock/internal/worldgen"
 )
@@ -37,6 +38,10 @@ func main() {
 	addr := flag.String("addr", ":8403", "listen address")
 	scale := flag.Float64("scale", 0.1, "population scale in (0,1]")
 	seed := flag.Uint64("seed", 403, "world seed")
+	verdictFile := flag.String("verdicts", "", "load an encoded verdict snapshot at startup (see /v1/snapshot)")
+	study := flag.Bool("study", false, "run the Top-10K study in the background and serve its verdicts on /v1")
+	verdictQPS := flag.Float64("verdict-qps", 0, "admission rate for /v1 read endpoints (0 = no shedding)")
+	verdictBurst := flag.Int("verdict-burst", 100, "admission burst for /v1 read endpoints")
 	flag.Parse()
 
 	// The daemon is a real server, so its telemetry runs on the wall
@@ -48,7 +53,21 @@ func main() {
 	// live from the first instant, /readyz flips to 200 — and the
 	// world-backed endpoints stop answering 503 — once the load lands.
 	var holder atomic.Pointer[geoblock.System]
-	mux := newMux(&holder, reg)
+	edge := newVerdictEdge(reg, verdict.NewLimiter(*verdictQPS, *verdictBurst, telemetry.Wall{}))
+	if *verdictFile != "" {
+		b, err := os.ReadFile(*verdictFile)
+		if err != nil {
+			log.Fatalf("worldd: -verdicts: %v", err)
+		}
+		snap, err := verdict.Decode(b)
+		if err != nil {
+			log.Fatalf("worldd: -verdicts %s: %v", *verdictFile, err)
+		}
+		edge.Swap(snap)
+		log.Printf("worldd: verdict snapshot v%d loaded: %d blocked pairs over %d domains × %d countries",
+			snap.Version(), snap.Blocked(), len(snap.Domains()), len(snap.Countries()))
+	}
+	mux := newMux(&holder, reg, edge)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -56,12 +75,23 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
-		sys := geoblock.New(geoblock.Options{Seed: *seed, Scale: *scale, Metrics: reg})
+		sys := geoblock.New(geoblock.Options{
+			Seed: *seed, Scale: *scale, Metrics: reg,
+			// Each completed study swaps its matrix into the live edge.
+			VerdictOut: edge.Swap,
+		})
 		holder.Store(sys)
 		log.Printf("worldd: %d domains simulated; ready", len(sys.World.Top10K()))
+		if *study {
+			log.Printf("worldd: running Top-10K study for /v1 verdicts")
+			r := sys.RunTop10K(geoblock.Top10KConfig{})
+			log.Printf("worldd: study complete: %d findings; /v1 serving snapshot v%d",
+				len(r.Findings), edge.holder.Load().Version())
+		}
 	}()
 	log.Printf("worldd: serving on %s (world generating; poll /readyz)", *addr)
 	log.Printf("try: curl 'http://localhost%s/?host=airbnb.fr&from=IR'", *addr)
+	log.Printf("verdicts: curl 'http://localhost%s/v1/verdict?domain=airbnb.fr&cc=IR'", *addr)
 	log.Printf("metrics: curl 'http://localhost%s/debug/metrics'", *addr)
 
 	// Serve until the listener fails or the process is interrupted;
@@ -89,7 +119,7 @@ func main() {
 // fills asynchronously: world-backed endpoints answer 503 until the
 // world lands. Factored out of main so tests can drive it through
 // httptest without a listener.
-func newMux(holder *atomic.Pointer[geoblock.System], reg *telemetry.Registry) *http.ServeMux {
+func newMux(holder *atomic.Pointer[geoblock.System], reg *telemetry.Registry, edge *verdictEdge) *http.ServeMux {
 	// ready gates a world-backed handler: 503 before the world exists.
 	ready := func(h func(sys *geoblock.System, w http.ResponseWriter, r *http.Request)) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -171,6 +201,12 @@ func newMux(holder *atomic.Pointer[geoblock.System], reg *telemetry.Registry) *h
 		http.Error(w, "unknown page class: "+kind, http.StatusNotFound)
 	})
 
+	// The /v1 verdict edge gates itself on its own snapshot, not the
+	// world: an edge fed from a snapshot file serves verdicts while the
+	// world is still generating, and the debug views keep working when
+	// no study has run.
+	edge.register(mux)
+
 	telemetry.AttachDebug(mux, reg)
 	return mux
 }
@@ -200,6 +236,8 @@ func countRequests(reg *telemetry.Registry, next http.Handler) http.Handler {
 			class = "domains"
 		case r.URL.Path == "/gallery":
 			class = "gallery"
+		case strings.HasPrefix(r.URL.Path, "/v1/"):
+			class = "verdict"
 		case strings.HasPrefix(r.URL.Path, "/debug/"):
 			class = "debug"
 		}

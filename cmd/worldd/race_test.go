@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled gates throughput floors: the race detector slows the
+// serving path by an order of magnitude, so absolute rates are only
+// asserted in non-race runs.
+const raceEnabled = true

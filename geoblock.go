@@ -22,6 +22,7 @@ package geoblock
 
 import (
 	"context"
+	"sync/atomic"
 
 	"geoblock/internal/cfrules"
 	"geoblock/internal/fabric"
@@ -31,6 +32,7 @@ import (
 	"geoblock/internal/proxy"
 	"geoblock/internal/runstore"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/verdict"
 	"geoblock/internal/worldgen"
 )
 
@@ -90,6 +92,15 @@ type (
 	FabricWorker = fabric.Worker
 	// FabricWorkerOptions tunes a FabricWorker.
 	FabricWorkerOptions = fabric.WorkerOptions
+	// VerdictSnapshot is an immutable compiled (domain × country)
+	// block-verdict matrix — what the serving edge answers from (see
+	// System.Verdicts and Options.VerdictOut).
+	VerdictSnapshot = verdict.Snapshot
+	// Verdict is one (domain, country) answer from a VerdictSnapshot.
+	Verdict = verdict.Verdict
+	// VerdictSource is the raw input to CompileVerdicts for callers that
+	// assemble matrices outside a study.
+	VerdictSource = verdict.Source
 )
 
 // ErrFabricWorkerKilled is returned by a FabricWorker's Run when its
@@ -152,6 +163,11 @@ type Options struct {
 	// NewFabric). Composes with Store: the coordinator's completions are
 	// journaled and resumed exactly like local work.
 	Fabric *FabricCoordinator
+	// VerdictOut, when non-nil, receives the verdict snapshot each
+	// completed study compiles from its confirmed findings — the hook a
+	// serving daemon uses to swap in fresh answers. The snapshot is also
+	// retained on the System (see Verdicts) regardless.
+	VerdictOut func(*VerdictSnapshot)
 }
 
 // System is a simulated Internet plus the measurement apparatus over
@@ -161,6 +177,11 @@ type Options struct {
 type System struct {
 	World *worldgen.World
 	study *pipeline.Study
+
+	// verdicts holds the latest compiled verdict snapshot; swapped
+	// atomically when a study completes so concurrent readers always see
+	// one consistent matrix.
+	verdicts atomic.Pointer[verdict.Snapshot]
 }
 
 // New builds the world and the measurement infrastructure.
@@ -189,7 +210,34 @@ func New(opts Options) *System {
 		opts.Fabric.BindWorld(w)
 		s.Runner = opts.Fabric.RunPhase
 	}
-	return &System{World: w, study: s}
+	sys := &System{World: w, study: s}
+	s.VerdictOut = func(snap *verdict.Snapshot) {
+		sys.verdicts.Store(snap)
+		if opts.VerdictOut != nil {
+			opts.VerdictOut(snap)
+		}
+	}
+	return sys
+}
+
+// Verdicts returns the verdict snapshot compiled by the most recently
+// completed study, or nil before the first one. Safe to call from any
+// goroutine; successive studies swap the pointer atomically.
+func (s *System) Verdicts() *VerdictSnapshot {
+	return s.verdicts.Load()
+}
+
+// CompileVerdicts builds a verdict snapshot directly from a source —
+// for serving layers fed from something other than a live study (a
+// decoded file, a hand-built matrix in tests).
+func CompileVerdicts(src VerdictSource) (*VerdictSnapshot, error) {
+	return verdict.Compile(src)
+}
+
+// DecodeVerdicts parses a snapshot previously serialized with
+// VerdictSnapshot.Encode — how an edge daemon loads a matrix cold.
+func DecodeVerdicts(b []byte) (*VerdictSnapshot, error) {
+	return verdict.Decode(b)
 }
 
 // Err reports the first scan abort the system's study observed — nil

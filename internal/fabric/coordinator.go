@@ -305,47 +305,71 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, LeaseGrant{Status: StatusWait, RetryMillis: DefaultRetryMillis})
 		return
 	}
-	// Prefer a unit never leased; fall back to the earliest expired
-	// lease. Canonical (lowest-seq-first) order keeps the reorder
-	// frontier short, so completed samples stream out instead of piling
-	// up in the buffer.
-	pick := -1
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	if max > MaxLeaseBatch {
+		max = MaxLeaseBatch
+	}
+	// Pick candidates BEFORE touching any lease state: units never
+	// leased first, then expired leases — both in canonical
+	// (lowest-seq-first) order, which keeps the reorder frontier short so
+	// completed samples stream out instead of piling up in the buffer.
+	// The two passes must finish before any grant mutates state: with an
+	// instantly-expirable TTL (LeaseTTL < 0, the deterministic re-issue
+	// test mode) a grant made by this very request would otherwise look
+	// expired to the second pass and hand the same unit out twice.
+	picks := make([]int, 0, max)
 	for _, seq := range ph.order {
 		u := ph.units[seq]
 		if !u.completed && !u.leased {
-			pick = seq
-			break
+			picks = append(picks, seq)
+			if len(picks) == max {
+				break
+			}
 		}
 	}
-	if pick < 0 {
+	expiredFrom := len(picks)
+	if len(picks) < max {
 		for _, seq := range ph.order {
 			u := ph.units[seq]
-			if u.completed || now.Before(u.deadline) {
+			if u.completed || !u.leased || now.Before(u.deadline) {
 				continue
 			}
-			pick = seq
-			c.count(MetReissues)
-			c.logf("fabric: phase %d unit %d lease expired (worker %s); re-issuing", ph.id, seq, u.worker)
-			break
+			picks = append(picks, seq)
+			if len(picks) == max {
+				break
+			}
 		}
 	}
-	if pick < 0 {
+	if len(picks) == 0 {
 		c.count(MetWaits)
 		writeJSON(w, LeaseGrant{Status: StatusWait, RetryMillis: DefaultRetryMillis})
 		return
 	}
-	u := ph.units[pick]
-	c.nextLease++
-	u.leased, u.lease, u.worker = true, c.nextLease, req.Worker
-	u.deadline = now.Add(c.ttl)
-	c.count(MetLeases)
+	units := make([]UnitLease, 0, len(picks))
+	for i, seq := range picks {
+		u := ph.units[seq]
+		if i >= expiredFrom {
+			c.count(MetReissues)
+			c.logf("fabric: phase %d unit %d lease expired (worker %s); re-issuing", ph.id, seq, u.worker)
+		}
+		c.nextLease++
+		u.leased, u.lease, u.worker = true, c.nextLease, req.Worker
+		u.deadline = now.Add(c.ttl)
+		c.count(MetLeases)
+		units = append(units, UnitLease{
+			Seq:         seq,
+			Lease:       u.lease,
+			Fingerprint: ph.plan.Unit(seq).Fingerprint,
+		})
+	}
 	writeJSON(w, LeaseGrant{
-		Status:      StatusUnit,
-		Phase:       ph.id,
-		Seq:         pick,
-		Lease:       u.lease,
-		Fingerprint: ph.plan.Unit(pick).Fingerprint,
-		TTLMillis:   c.ttl.Milliseconds(),
+		Status:    StatusUnit,
+		Phase:     ph.id,
+		Units:     units,
+		TTLMillis: c.ttl.Milliseconds(),
 	})
 }
 

@@ -198,14 +198,16 @@ func TestLeaseLifecycle(t *testing.T) {
 		phaseErr <- coord.RunPhase(ctx, domains, countries, tasks, cfg, &scanner.Collect{})
 	}()
 
-	// A bare client for protocol-level poking.
+	// A bare client for protocol-level poking. Max 1 keeps the
+	// state-machine walk single-step; the batch shape gets its own
+	// assertions below.
 	w := &Worker{opts: WorkerOptions{Coordinator: srv.URL, Name: "probe"}, client: http.DefaultClient}
-	lease := func() LeaseGrant {
+	lease := func(max int) LeaseGrant {
 		t.Helper()
 		var g LeaseGrant
 		// The phase installs asynchronously; wait for the first grant.
 		for {
-			if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: "probe"}, &g); err != nil {
+			if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: "probe", Max: max}, &g); err != nil {
 				t.Fatalf("lease: %v", err)
 			}
 			if g.Status != StatusWait {
@@ -215,40 +217,52 @@ func TestLeaseLifecycle(t *testing.T) {
 		}
 	}
 
-	g0 := lease()
-	if g0.Status != StatusUnit || g0.Seq != 0 {
-		t.Fatalf("first grant = %+v, want unit 0", g0)
+	g0 := lease(1)
+	if g0.Status != StatusUnit || len(g0.Units) != 1 || g0.Units[0].Seq != 0 {
+		t.Fatalf("first grant = %+v, want exactly unit 0", g0)
 	}
-	g1 := lease()
-	if g1.Seq != 1 || g1.Lease == g0.Lease {
-		t.Fatalf("second grant = %+v, want unit 1 under a fresh lease", g1)
+	u0 := g0.Units[0]
+	// A batched request takes the next units in canonical order, each
+	// under its own fresh lease ID.
+	gb := lease(3)
+	if len(gb.Units) != 3 {
+		t.Fatalf("batch grant = %+v, want 3 units", gb)
+	}
+	for i, u := range gb.Units {
+		if u.Seq != i+1 {
+			t.Fatalf("batch grant unit %d = %+v, want seq %d", i, u, i+1)
+		}
+		if u.Lease == u0.Lease || (i > 0 && u.Lease == gb.Units[i-1].Lease) {
+			t.Fatalf("batch grant reused a lease ID: %+v", gb.Units)
+		}
 	}
 	// Exhaust the never-leased pool; with every unit leased and live,
-	// the coordinator must answer wait, not double-lease.
+	// the coordinator must answer wait, not double-lease — even for an
+	// oversized batch request.
 	numUnits := scanner.NewPlan(domains, countries, tasks, cfg).NumUnits()
-	for i := 2; i < numUnits; i++ {
-		if g := lease(); g.Seq != i {
+	for i := 4; i < numUnits; i++ {
+		if g := lease(1); len(g.Units) != 1 || g.Units[0].Seq != i {
 			t.Fatalf("grant %d = %+v, want unit %d", i, g, i)
 		}
 	}
 	var gw LeaseGrant
-	if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: "probe"}, &gw); err != nil || gw.Status != StatusWait {
+	if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: "probe", Max: DefaultLeaseBatch}, &gw); err != nil || gw.Status != StatusWait {
 		t.Fatalf("fully-leased phase answered %+v, want wait", gw)
 	}
 
 	var ack Ack
-	if err := w.postJSON(ctx, PathExtend, ExtendRequest{Worker: "probe", Phase: g0.Phase, Seq: g0.Seq, Lease: g0.Lease}, &ack); err != nil || !ack.OK {
+	if err := w.postJSON(ctx, PathExtend, ExtendRequest{Worker: "probe", Phase: g0.Phase, Seq: u0.Seq, Lease: u0.Lease}, &ack); err != nil || !ack.OK {
 		t.Fatalf("extend live lease: err=%v ack=%+v", err, ack)
 	}
 
-	// Expire both leases; the next grant must re-issue unit 0 under a
+	// Expire every lease; the next grant must re-issue unit 0 under a
 	// new lease ID, and the old lease must no longer extend.
 	clock.Advance(time.Minute)
-	g0b := lease()
-	if g0b.Seq != 0 || g0b.Lease == g0.Lease {
+	g0b := lease(1)
+	if len(g0b.Units) != 1 || g0b.Units[0].Seq != 0 || g0b.Units[0].Lease == u0.Lease {
 		t.Fatalf("post-expiry grant = %+v, want unit 0 re-issued", g0b)
 	}
-	if err := w.postJSON(ctx, PathExtend, ExtendRequest{Worker: "probe", Phase: g0.Phase, Seq: g0.Seq, Lease: g0.Lease}, &ack); err != nil || ack.OK {
+	if err := w.postJSON(ctx, PathExtend, ExtendRequest{Worker: "probe", Phase: g0.Phase, Seq: u0.Seq, Lease: u0.Lease}, &ack); err != nil || ack.OK {
 		t.Fatalf("extend of superseded lease: err=%v ack=%+v, want refused", err, ack)
 	}
 
@@ -290,9 +304,10 @@ func TestCompleteIdempotency(t *testing.T) {
 		}
 		runtime.Gosched()
 	}
-	if err := w.ensurePhase(ctx, g.Phase); err != nil {
+	if _, err := w.ensurePhase(ctx, g.Phase); err != nil {
 		t.Fatalf("ensurePhase: %v", err)
 	}
+	u := g.Units[0]
 
 	post := func(seq int, lease, fp uint64) (int, string) {
 		t.Helper()
@@ -316,20 +331,20 @@ func TestCompleteIdempotency(t *testing.T) {
 		return resp.StatusCode, ack.Status
 	}
 
-	unit0 := w.plan.Unit(g.Seq)
-	if code, _ := post(g.Seq, g.Lease, unit0.Fingerprint^1); code != http.StatusConflict {
+	unit0 := w.plan.Unit(u.Seq)
+	if code, _ := post(u.Seq, u.Lease, unit0.Fingerprint^1); code != http.StatusConflict {
 		t.Fatalf("wrong-fingerprint complete answered %d, want 409", code)
 	}
-	if code, status := post(g.Seq, g.Lease, unit0.Fingerprint); code != http.StatusOK || status == "duplicate" {
+	if code, status := post(u.Seq, u.Lease, unit0.Fingerprint); code != http.StatusOK || status == "duplicate" {
 		t.Fatalf("first complete answered %d/%q", code, status)
 	}
-	if code, status := post(g.Seq, g.Lease, unit0.Fingerprint); code != http.StatusOK || status != "duplicate" {
+	if code, status := post(u.Seq, u.Lease, unit0.Fingerprint); code != http.StatusOK || status != "duplicate" {
 		t.Fatalf("second complete answered %d/%q, want duplicate ack", code, status)
 	}
 
 	// Finish the phase with a stale lease ID on every remaining unit:
 	// the results are deterministic, so they must all land.
-	for seq := g.Seq + 1; seq < w.plan.NumUnits(); seq++ {
+	for seq := u.Seq + 1; seq < w.plan.NumUnits(); seq++ {
 		if code, status := post(seq, 0, w.plan.Unit(seq).Fingerprint); code != http.StatusOK || status == "duplicate" {
 			t.Fatalf("unleased complete of unit %d answered %d/%q", seq, code, status)
 		}

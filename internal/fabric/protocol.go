@@ -133,22 +133,42 @@ const (
 	StatusStudyDone = "study-done"
 )
 
-// LeaseRequest asks the coordinator for work.
+// DefaultLeaseBatch is how many units a worker asks for per lease
+// round trip. Units are small (a shard of ~32 tasks executes in
+// milliseconds on the simulated net), so per-unit leasing makes the
+// coordinator round trip the dominant cost and workers spend their
+// time waiting on HTTP instead of scanning — the BENCH_6 regression.
+// Batching amortizes one round trip over K units.
+const DefaultLeaseBatch = 16
+
+// MaxLeaseBatch caps what a single request may ask for, so one greedy
+// worker cannot drain a phase and starve the rest.
+const MaxLeaseBatch = 64
+
+// LeaseRequest asks the coordinator for work. Max is the largest batch
+// the worker wants in this round trip; 0 means 1.
 type LeaseRequest struct {
 	Worker string `json:"worker"`
+	Max    int    `json:"max,omitempty"`
+}
+
+// UnitLease is one leased unit inside a grant.
+type UnitLease struct {
+	Seq   int    `json:"seq"`
+	Lease uint64 `json:"lease"`
+	// Fingerprint is the coordinator's fingerprint for the leased unit;
+	// the worker refuses the lease if its own plan disagrees.
+	Fingerprint uint64 `json:"fingerprint"`
 }
 
 // LeaseGrant is the coordinator's answer to a lease request.
 type LeaseGrant struct {
 	Status string `json:"status"`
-	// Set when Status is StatusUnit.
-	Phase int    `json:"phase,omitempty"`
-	Seq   int    `json:"seq,omitempty"`
-	Lease uint64 `json:"lease,omitempty"`
-	// Fingerprint is the coordinator's fingerprint for the leased unit;
-	// the worker refuses the lease if its own plan disagrees.
-	Fingerprint uint64 `json:"fingerprint,omitempty"`
-	TTLMillis   int64  `json:"ttl_millis,omitempty"`
+	// Set when Status is StatusUnit: the phase the units belong to and
+	// the batch itself, in canonical (ascending seq) order.
+	Phase     int         `json:"phase,omitempty"`
+	Units     []UnitLease `json:"units,omitempty"`
+	TTLMillis int64       `json:"ttl_millis,omitempty"`
 	// Set when Status is StatusWait.
 	RetryMillis int64 `json:"retry_millis,omitempty"`
 }

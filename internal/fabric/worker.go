@@ -138,7 +138,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			return err
 		}
 		var grant LeaseGrant
-		if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: w.opts.Name}, &grant); err != nil {
+		if err := w.postJSON(ctx, PathLease, LeaseRequest{Worker: w.opts.Name, Max: DefaultLeaseBatch}, &grant); err != nil {
 			return fmt.Errorf("fabric: leasing: %w", err)
 		}
 		switch grant.Status {
@@ -150,7 +150,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.sleep(time.Duration(grant.RetryMillis) * time.Millisecond)
 			continue
 		case StatusUnit:
-			if err := w.runUnit(ctx, grant); err != nil {
+			if err := w.runBatch(ctx, grant); err != nil {
 				if errors.Is(err, errStalePhase) {
 					continue
 				}
@@ -162,22 +162,43 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
-// runUnit executes one granted lease end to end.
-func (w *Worker) runUnit(ctx context.Context, grant LeaseGrant) error {
-	if err := w.ensurePhase(ctx, grant.Phase); err != nil {
+// runBatch executes every unit in a grant, in grant order. A stale
+// phase mid-batch abandons the rest of the batch (their leases expire
+// and the units re-issue — but in practice the phase is gone anyway).
+func (w *Worker) runBatch(ctx context.Context, grant LeaseGrant) error {
+	rebuilt, err := w.ensurePhase(ctx, grant.Phase)
+	if err != nil {
 		return err
 	}
-	unit := w.plan.Unit(grant.Seq)
-	if unit.Fingerprint != grant.Fingerprint {
-		return fmt.Errorf("fabric: unit %d fingerprint mismatch (coordinator %x, worker %x) — the two processes built different worlds", grant.Seq, grant.Fingerprint, unit.Fingerprint)
+	if rebuilt && len(grant.Units) > 0 {
+		// The plan rebuild may have eaten into the batch's TTLs; refresh
+		// the LAST unit's lease — it waits the longest — so the tail of the
+		// batch is not re-issued while we are still working the head. A
+		// stale answer is fine: completions from expired leases are still
+		// accepted, re-runs are deterministic no-ops.
+		last := grant.Units[len(grant.Units)-1]
+		var ack Ack
+		_ = w.postJSON(ctx, PathExtend, ExtendRequest{Worker: w.opts.Name, Phase: grant.Phase, Seq: last.Seq, Lease: last.Lease}, &ack)
 	}
-	// Refresh the lease now that the (possibly slow) plan rebuild is
-	// done; a stale answer is fine — completions from expired leases are
-	// still accepted.
-	var ack Ack
-	_ = w.postJSON(ctx, PathExtend, ExtendRequest{Worker: w.opts.Name, Phase: grant.Phase, Seq: grant.Seq, Lease: grant.Lease}, &ack)
+	for _, u := range grant.Units {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := w.runUnit(ctx, grant.Phase, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-	res, err := w.plan.ExecuteUnit(ctx, w.net, grant.Seq)
+// runUnit executes one leased unit end to end: fingerprint check,
+// engine execution, chaos hook, completion report.
+func (w *Worker) runUnit(ctx context.Context, phase int, lease UnitLease) error {
+	unit := w.plan.Unit(lease.Seq)
+	if unit.Fingerprint != lease.Fingerprint {
+		return fmt.Errorf("fabric: unit %d fingerprint mismatch (coordinator %x, worker %x) — the two processes built different worlds", lease.Seq, lease.Fingerprint, unit.Fingerprint)
+	}
+	res, err := w.plan.ExecuteUnit(ctx, w.net, lease.Seq)
 	if err != nil {
 		return err
 	}
@@ -186,7 +207,7 @@ func (w *Worker) runUnit(ctx context.Context, grant LeaseGrant) error {
 	if w.opts.Kill != nil && w.opts.Kill(w.executed) {
 		// Die before reporting: the unit's lease expires and the
 		// coordinator re-issues it to a surviving worker.
-		w.logf("fabric worker %s: chaos kill after unit %d", w.opts.Name, grant.Seq)
+		w.logf("fabric worker %s: chaos kill after unit %d", w.opts.Name, lease.Seq)
 		return ErrKilled
 	}
 
@@ -198,7 +219,7 @@ func (w *Worker) runUnit(ctx context.Context, grant LeaseGrant) error {
 		return fmt.Errorf("fabric: encoding unit metrics: %w", err)
 	}
 	cp := runstore.Checkpoint{
-		Seq:     grant.Seq,
+		Seq:     lease.Seq,
 		Country: unit.Country,
 		Tasks:   unit.Tasks,
 		Samples: len(res.Samples),
@@ -206,9 +227,9 @@ func (w *Worker) runUnit(ctx context.Context, grant LeaseGrant) error {
 		Metrics: mb,
 	}
 	payload := runstore.EncodeShardFrames(res.Samples, cp)
-	q := "?phase=" + strconv.Itoa(grant.Phase) +
-		"&seq=" + strconv.Itoa(grant.Seq) +
-		"&lease=" + strconv.FormatUint(grant.Lease, 10) +
+	q := "?phase=" + strconv.Itoa(phase) +
+		"&seq=" + strconv.Itoa(lease.Seq) +
+		"&lease=" + strconv.FormatUint(lease.Lease, 10) +
 		"&fp=" + strconv.FormatUint(unit.Fingerprint, 10) +
 		"&worker=" + w.opts.Name
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+PathComplete+q, bytes.NewReader(payload))
@@ -218,47 +239,49 @@ func (w *Worker) runUnit(ctx context.Context, grant LeaseGrant) error {
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := w.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("fabric: reporting unit %d: %w", grant.Seq, err)
+		return fmt.Errorf("fabric: reporting unit %d: %w", lease.Seq, err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("fabric: coordinator rejected unit %d: %s: %s", grant.Seq, resp.Status, bytes.TrimSpace(body))
+		return fmt.Errorf("fabric: coordinator rejected unit %d: %s: %s", lease.Seq, resp.Status, bytes.TrimSpace(body))
 	}
 	return nil
 }
 
 // ensurePhase rebuilds and caches the plan for phase id, verifying the
-// plan fingerprint and unit count against the coordinator's spec.
-func (w *Worker) ensurePhase(ctx context.Context, id int) error {
+// plan fingerprint and unit count against the coordinator's spec. The
+// returned bool reports whether a rebuild actually happened (a rebuild
+// is the one slow step worth spending a lease extension on).
+func (w *Worker) ensurePhase(ctx context.Context, id int) (bool, error) {
 	if w.plan != nil && w.phaseID == id {
-		return nil
+		return false, nil
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.opts.Coordinator+PathPhase+strconv.Itoa(id), nil)
 	if err != nil {
-		return err
+		return false, err
 	}
 	resp, err := w.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("fabric: fetching phase %d spec: %w", id, err)
+		return false, fmt.Errorf("fabric: fetching phase %d spec: %w", id, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
-		return errStalePhase
+		return false, errStalePhase
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("fabric: fetching phase %d spec: %s", id, resp.Status)
+		return false, fmt.Errorf("fabric: fetching phase %d spec: %s", id, resp.Status)
 	}
 	var spec PhaseSpec
 	if err := json.NewDecoder(resp.Body).Decode(&spec); err != nil {
-		return fmt.Errorf("fabric: decoding phase %d spec: %w", id, err)
+		return false, fmt.Errorf("fabric: decoding phase %d spec: %w", id, err)
 	}
 	plan := scanner.NewPlan(spec.Domains, spec.Countries, spec.Tasks, spec.Config.Config())
 	if got := plan.Fingerprint(); got != spec.Fingerprint {
-		return fmt.Errorf("fabric: phase %d plan fingerprint mismatch (coordinator %x, worker %x) — the two processes built different plans", id, spec.Fingerprint, got)
+		return false, fmt.Errorf("fabric: phase %d plan fingerprint mismatch (coordinator %x, worker %x) — the two processes built different plans", id, spec.Fingerprint, got)
 	}
 	if plan.NumUnits() != spec.Units {
-		return fmt.Errorf("fabric: phase %d unit count mismatch (coordinator %d, worker %d)", id, spec.Units, plan.NumUnits())
+		return false, fmt.Errorf("fabric: phase %d unit count mismatch (coordinator %d, worker %d)", id, spec.Units, plan.NumUnits())
 	}
 	// Catch the worker's world up to the coordinator's policy clock —
 	// the pipeline advances it between phases, and national policies
@@ -266,7 +289,7 @@ func (w *Worker) ensurePhase(ctx context.Context, id int) error {
 	w.world.AdvanceClock(spec.WorldClock - w.world.Clock())
 	w.phaseID, w.plan = id, plan
 	w.logf("fabric worker %s: phase %d (%s): plan agreed, %d units", w.opts.Name, id, spec.Phase, spec.Units)
-	return nil
+	return true, nil
 }
 
 // getJSON GETs path off the coordinator and decodes the JSON answer.

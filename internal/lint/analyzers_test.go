@@ -22,6 +22,9 @@ func TestDeterminism(t *testing.T) {
 		// The fabric: lease deadlines and worker backoff must flow
 		// through the injected clock/Sleep seams.
 		"geoblock/internal/fabric/dfix",
+		// The verdict edge: limiter refills and snapshot versions must
+		// come from the injected clock and the world's policy clock.
+		"geoblock/internal/verdict/dfix",
 		// Out of scope: the wall clock is legal off the scan path.
 		"geoblock/internal/cdnid/dfix")
 }
@@ -44,5 +47,6 @@ func TestOutcomecheck(t *testing.T) {
 func TestNakedgo(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.Nakedgo,
 		"geoblock/internal/scanner/ngfix",
-		"geoblock/internal/fabric/ngfix")
+		"geoblock/internal/fabric/ngfix",
+		"geoblock/internal/verdict/ngfix")
 }

@@ -30,6 +30,7 @@ var determinismScope = scope(
 	"geoblock/internal/worldgen/...",
 	"geoblock/internal/telemetry/...",
 	"geoblock/internal/fabric/...",
+	"geoblock/internal/verdict/...",
 )
 
 // wallClockFuncs are the time package functions that read or wait on

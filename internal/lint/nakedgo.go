@@ -25,6 +25,7 @@ var Nakedgo = &Analyzer{
 		"geoblock/internal/lumscan/...",
 		"geoblock/internal/faults/...",
 		"geoblock/internal/fabric/...",
+		"geoblock/internal/verdict/...",
 	),
 	Run: runNakedgo,
 }

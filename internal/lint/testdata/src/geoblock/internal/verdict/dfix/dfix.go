@@ -1,0 +1,26 @@
+// Fixture: the determinism analyzer inside the verdict edge
+// (geoblock/internal/verdict/...). The snapshot itself is pure data,
+// but the limiter's token refill and the snapshot's provenance both
+// look like places to reach for the wall clock — and must not: the
+// limiter reads the injected telemetry.Clock (tests drive it with a
+// virtual clock), and a snapshot's version comes from the world's
+// policy clock, never from real time.
+package dfix
+
+import "time"
+
+// Stamping a snapshot version off the wall clock is the violation.
+func snapshotVersion() uint64 {
+	return uint64(time.Now().UnixNano()) // want "time.Now reads the wall clock"
+}
+
+// So is refilling the token bucket from real elapsed time instead of
+// the injected clock.
+func refill(last time.Time) time.Duration {
+	return time.Since(last) // want "time.Since reads the wall clock"
+}
+
+// Retry-After arithmetic never observes real time and stays legal.
+func retryAfter(deficit float64, rate float64) time.Duration {
+	return time.Duration(deficit / rate * float64(time.Second))
+}

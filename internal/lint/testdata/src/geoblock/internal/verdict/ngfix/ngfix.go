@@ -1,0 +1,39 @@
+// Fixture: the nakedgo analyzer inside the verdict edge
+// (geoblock/internal/verdict/...). The edge's concurrency model is a
+// single atomic pointer swap — readers never block, the publisher
+// never spawns. A stray goroutine here (say, compiling a snapshot off
+// to the side and swapping it in whenever it finishes) could publish
+// after its study was torn down and resurrect a stale matrix.
+package ngfix
+
+import "sync"
+
+// Publishing a snapshot from an untied goroutine is the violation.
+func publishAsync(compile func() any, swap func(any)) {
+	go swap(compile()) // want "goroutine launch in the scan path"
+}
+
+// A bare literal is no better.
+func warmAsync(lookup func(string) bool, domains []string) {
+	go func() { // want "naked goroutine in the scan path"
+		for _, d := range domains {
+			lookup(d)
+		}
+	}()
+}
+
+// The sanctioned shape: concurrent readers tied to a WaitGroup so the
+// swap test drains before asserting.
+func hammer(lookup func(string) bool, domains []string) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, d := range domains {
+				lookup(d)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ import (
 	"geoblock/internal/runstore"
 	"geoblock/internal/stats"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/verdict"
 	"geoblock/internal/worldgen"
 )
 
@@ -55,6 +56,11 @@ type Study struct {
 	// fleet is cheap and local). The runner composes with Store: it runs
 	// under the journal exactly where lumscan.ScanStream would.
 	Runner ScanRunner
+	// VerdictOut, when non-nil, receives the verdict snapshot compiled
+	// from each completed study's confirmed findings — the serving
+	// layer's feed. Called synchronously at the end of the study, after
+	// the findings tables are final.
+	VerdictOut func(*verdict.Snapshot)
 
 	// phaseSeq counts scan invocations per phase name, so repeated
 	// invocations (the explore verify loop) get distinct journal keys.
@@ -152,6 +158,37 @@ func (e *PhaseError) Unwrap() error { return e.Err }
 // phase ran to completion. A non-nil Err means the study's results are
 // a prefix of the full run.
 func (s *Study) Err() error { return s.scanErr }
+
+// emitVerdicts compiles the confirmed findings over the studied
+// universe into an immutable verdict snapshot and hands it to
+// VerdictOut. Versioned by the world's policy clock at completion, so
+// successive studies of a drifting world produce ordered snapshots.
+func (s *Study) emitVerdicts(domains []string, countries []geo.CountryCode, findings []Finding) {
+	if s.VerdictOut == nil {
+		return
+	}
+	src := verdict.Source{
+		Version:   uint64(s.World.Clock()),
+		Seed:      s.World.Cfg.Seed,
+		Domains:   domains,
+		Countries: countries,
+	}
+	for _, f := range findings {
+		src.Entries = append(src.Entries, verdict.Entry{
+			Domain: f.DomainName, Country: f.Country, Kind: f.Kind,
+		})
+	}
+	snap, err := verdict.Compile(src)
+	if err != nil {
+		// Findings are drawn from the studied universe, so Compile can
+		// only fail on a pipeline bug; surface it rather than serve stale.
+		s.logf("verdict: snapshot compile failed: %v", err)
+		return
+	}
+	s.logf("verdict: snapshot v%d, %d blocked pairs over %d domains × %d countries",
+		snap.Version(), snap.Blocked(), len(snap.Domains()), len(snap.Countries()))
+	s.VerdictOut(snap)
+}
 
 // logCoverage reports a degraded scan phase: which countries were lost
 // and how far short of the requested coverage the run fell. A full run

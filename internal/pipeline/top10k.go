@@ -175,6 +175,8 @@ func (s *Study) RunTop10K(cfg Top10KConfig) *Top10KResult {
 	s.resampleAndConfirm(r, sp)
 	s.logf("top10k: %d candidate pairs, %d confirmed, %d eliminated",
 		r.CandidatePairs, len(r.Findings), r.Eliminated)
+
+	s.emitVerdicts(r.SafeDomains, r.Countries, r.Findings)
 	return r
 }
 

@@ -1,0 +1,81 @@
+package verdict
+
+import (
+	"sync"
+	"time"
+
+	"geoblock/internal/telemetry"
+)
+
+// Limiter is a token-bucket admission gate for the serving edge. It
+// answers one question per request — admit, or shed with a hint of
+// when to come back — so overload turns into fast 429s instead of a
+// collapsing tail. A nil *Limiter admits everything, which keeps the
+// "no limit configured" path branch-free at call sites.
+//
+// Time comes from a telemetry.Clock so tests drive the bucket with a
+// Virtual clock; the zero value of the clock field falls back to the
+// wall clock on first use.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens added per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	clock  telemetry.Clock
+	primed bool
+}
+
+// NewLimiter builds a limiter admitting rate requests/sec with the
+// given burst capacity. A nil clock means the wall clock. Returns nil
+// (admit everything) when rate <= 0.
+func NewLimiter(rate float64, burst int, clock telemetry.Clock) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if clock == nil {
+		clock = telemetry.Wall{}
+	}
+	return &Limiter{rate: rate, burst: float64(burst), clock: clock}
+}
+
+// Allow consumes one token if available. When the bucket is empty it
+// returns false and the duration after which a token will exist — the
+// Retry-After the caller should advertise (rounded up to a whole
+// second, minimum one, matching the header's granularity).
+func (l *Limiter) Allow() (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clock.Now()
+	if !l.primed {
+		// First sighting of the clock: start with a full bucket.
+		l.tokens = l.burst
+		l.last = now
+		l.primed = true
+	}
+	if dt := now.Sub(l.last); dt > 0 {
+		l.tokens += dt.Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		return true, 0
+	}
+	need := (1 - l.tokens) / l.rate
+	retry := time.Duration(need * float64(time.Second))
+	if retry < time.Second {
+		retry = time.Second
+	} else if rem := retry % time.Second; rem != 0 {
+		retry += time.Second - rem
+	}
+	return false, retry
+}

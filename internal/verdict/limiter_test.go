@@ -1,0 +1,80 @@
+package verdict
+
+import (
+	"testing"
+	"time"
+
+	"geoblock/internal/telemetry"
+)
+
+func TestLimiterAdmitsBurstThenSheds(t *testing.T) {
+	clock := &telemetry.Virtual{}
+	l := NewLimiter(10, 5, clock)
+	for i := 0; i < 5; i++ {
+		ok, _ := l.Allow()
+		if !ok {
+			t.Fatalf("request %d shed inside the burst", i)
+		}
+	}
+	ok, retry := l.Allow()
+	if ok {
+		t.Fatal("request beyond the burst admitted with no time passing")
+	}
+	if retry < time.Second {
+		t.Fatalf("Retry-After %v under the one-second floor", retry)
+	}
+}
+
+func TestLimiterRefills(t *testing.T) {
+	clock := &telemetry.Virtual{}
+	l := NewLimiter(10, 1, clock)
+	if ok, _ := l.Allow(); !ok {
+		t.Fatal("first request shed")
+	}
+	if ok, _ := l.Allow(); ok {
+		t.Fatal("second immediate request admitted")
+	}
+	clock.Advance(100 * time.Millisecond) // exactly one token at 10/s
+	if ok, _ := l.Allow(); !ok {
+		t.Fatal("request shed after a full token refilled")
+	}
+	// Refill never exceeds burst.
+	clock.Advance(time.Hour)
+	if ok, _ := l.Allow(); !ok {
+		t.Fatal("request shed after an hour idle")
+	}
+	if ok, _ := l.Allow(); ok {
+		t.Fatal("burst=1 bucket held more than one token after idling")
+	}
+}
+
+func TestLimiterRetryAfterRoundsUp(t *testing.T) {
+	clock := &telemetry.Virtual{}
+	l := NewLimiter(0.4, 1, clock) // 2.5s per token
+	l.Allow()
+	ok, retry := l.Allow()
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry != 3*time.Second {
+		t.Fatalf("Retry-After = %v, want 3s (2.5s rounded up)", retry)
+	}
+}
+
+func TestLimiterNilAndDisabled(t *testing.T) {
+	var l *Limiter
+	if ok, retry := l.Allow(); !ok || retry != 0 {
+		t.Fatal("nil limiter must admit everything")
+	}
+	if NewLimiter(0, 10, nil) != nil {
+		t.Fatal("rate 0 must mean no limiter")
+	}
+	if NewLimiter(-1, 10, nil) != nil {
+		t.Fatal("negative rate must mean no limiter")
+	}
+	if l := NewLimiter(5, 0, &telemetry.Virtual{}); l == nil {
+		t.Fatal("burst 0 must clamp to 1, not disable")
+	} else if ok, _ := l.Allow(); !ok {
+		t.Fatal("clamped burst admitted nothing")
+	}
+}

@@ -1,0 +1,150 @@
+package geoblock
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"geoblock/internal/blockpage"
+	"geoblock/internal/verdict"
+)
+
+// TestVerdictMatrix is the serving-edge acceptance gate: the snapshot
+// a completed study emits must byte-round-trip through the codec,
+// answer every (domain, country) pair identically to the study's
+// findings table, and stay correct under concurrent readers across an
+// atomic snapshot swap.
+func TestVerdictMatrix(t *testing.T) {
+	wcfg := matrixWorld()
+	var emitted *VerdictSnapshot
+	s := New(Options{World: &wcfg, VerdictOut: func(snap *VerdictSnapshot) { emitted = snap }})
+	r := s.RunTop10K(Top10KConfig{})
+	if err := s.Err(); err != nil {
+		t.Fatalf("study aborted: %v", err)
+	}
+	if emitted == nil {
+		t.Fatal("study completed without emitting a verdict snapshot")
+	}
+	if s.Verdicts() != emitted {
+		t.Fatal("System.Verdicts does not hold the emitted snapshot")
+	}
+	snap := emitted
+	if snap.Version() != uint64(s.World.Clock()) || snap.Seed() != wcfg.Seed {
+		t.Fatalf("snapshot provenance v%d seed %d, want v%d seed %d",
+			snap.Version(), snap.Seed(), s.World.Clock(), wcfg.Seed)
+	}
+	if len(r.Findings) == 0 {
+		t.Fatal("matrix world produced no findings; the test is vacuous")
+	}
+	if snap.Blocked() != len(r.Findings) {
+		t.Fatalf("snapshot holds %d blocked pairs, study confirmed %d", snap.Blocked(), len(r.Findings))
+	}
+
+	// Every pair of the studied universe answers exactly per the
+	// findings table: blocked with the confirmed kind, or clear.
+	want := make(map[string]blockpage.Kind, len(r.Findings))
+	for _, f := range r.Findings {
+		want[f.DomainName+"/"+string(f.Country)] = f.Kind
+	}
+	for _, d := range r.SafeDomains {
+		for _, cc := range r.Countries {
+			v, ok := snap.Lookup(d, cc)
+			if !ok {
+				t.Fatalf("Lookup(%q, %q): studied pair outside snapshot universe", d, cc)
+			}
+			kind, blocked := want[d+"/"+string(cc)]
+			if v.Blocked != blocked || v.Kind != kind {
+				t.Fatalf("Lookup(%q, %q) = %+v, findings say blocked=%v kind=%v", d, cc, v, blocked, kind)
+			}
+		}
+	}
+	if _, ok := snap.Lookup("not-a-studied-domain.example", "CN"); ok {
+		t.Fatal("unknown domain did not report outside-universe")
+	}
+
+	// Byte round trip through the codec.
+	enc := snap.Encode()
+	dec, err := DecodeVerdicts(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(dec.Encode(), enc) {
+		t.Fatal("snapshot does not byte-round-trip through the codec")
+	}
+	if dec.ETag() != snap.ETag() {
+		t.Fatalf("ETag drifted across the codec: %s vs %s", dec.ETag(), snap.ETag())
+	}
+
+	// Correctness across an atomic swap under concurrent readers: an
+	// "old" snapshot (no findings, version v-1) and the study's real
+	// one alternate in the holder while readers verify that whichever
+	// version they observe answers with that version's semantics.
+	empty, err := CompileVerdicts(VerdictSource{
+		Version:   snap.Version() - 1,
+		Seed:      snap.Seed(),
+		Domains:   r.SafeDomains,
+		Countries: r.Countries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := r.Findings[0]
+
+	var holder verdict.Holder
+	holder.Swap(empty)
+	const readers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan string, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cur := holder.Load()
+				v, ok := cur.Lookup(probe.DomainName, probe.Country)
+				if !ok {
+					errc <- "probe pair fell outside the universe"
+					return
+				}
+				switch cur.Version() {
+				case empty.Version():
+					if v.Blocked {
+						errc <- "empty snapshot answered blocked"
+						return
+					}
+				case snap.Version():
+					if !v.Blocked || v.Kind != probe.Kind {
+						errc <- "study snapshot lost the probe finding"
+						return
+					}
+				default:
+					errc <- "reader observed a snapshot from neither version"
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			holder.Swap(snap)
+		} else {
+			holder.Swap(empty)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+	if got := holder.Load(); got != empty && got != snap {
+		t.Fatal("holder holds a foreign snapshot after the swap storm")
+	}
+}
