@@ -2,14 +2,24 @@
 #
 #   make check   the tier-1 gate, in order: build → vet → geolint → test.
 #                geolint (cmd/geolint, built from internal/lint) machine-
-#                checks the determinism, context-flow, and outcome-handling
-#                invariants the engine's byte-identical contract rests on;
-#                it runs after vet so type errors surface with the compiler's
-#                messages first, and before the test suite so an invariant
-#                violation fails in seconds, not after a full chaos run.
-#   make lint    just the geolint pass.
+#                checks the engine's invariants — determinism (including
+#                the cross-package clockflow reachability pass), context
+#                flow, outcome handling, codec parity (wirecheck), the
+#                metric namespace (telemetrycheck), and shared-snapshot
+#                discipline (swapcheck) — against the committed
+#                lint.baseline ratchet; it runs after vet so type errors
+#                surface with the compiler's messages first, and before
+#                the test suite so an invariant violation fails in
+#                seconds, not after a full chaos run.
+#   make lint    vet plus the geolint pass, against the baseline.
+#   make lint-json  the same pass emitting machine-readable JSON to
+#                lint.json (the CI artifact), baselined findings included
+#                with "baselined": true.
 #   make race    race-detector pass over every package (the chaos and
-#                scheduler suites exercise the concurrent scan path)
+#                scheduler suites exercise the concurrent scan path),
+#                plus an explicit run of the verdict edge's trimmed soak
+#                shape — the heaviest reader/swap interleaving the suite
+#                has — so it never hides behind test caching
 #   make cover   coverage with ratcheted floors for the scan engine, the
 #                fault-injection layer, the telemetry layer, the journal
 #                (runstore), the verdict edge, and the lint suite
@@ -38,19 +48,24 @@
 
 GO ?= go
 
-.PHONY: check lint race cover fuzz bench profile fabric-test perf soak
+.PHONY: check lint lint-json race cover fuzz bench profile fabric-test perf soak
 
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) run ./cmd/geolint ./...
+	$(GO) run ./cmd/geolint -baseline lint.baseline ./...
 	$(GO) test ./...
 
 lint:
-	$(GO) run ./cmd/geolint ./...
+	$(GO) vet ./...
+	$(GO) run ./cmd/geolint -baseline lint.baseline ./...
+
+lint-json:
+	$(GO) run ./cmd/geolint -json -baseline lint.baseline ./... > lint.json
 
 race:
 	$(GO) test -race ./...
+	$(GO) test -race ./cmd/worldd -run TestVerdictSoak -count=1
 
 # Ratcheted coverage floors: set just below the level each package
 # actually achieves, so coverage can only move up. Raise the floor when
@@ -65,7 +80,7 @@ cover:
 	}; \
 	check ./internal/scanner 90; \
 	check ./internal/faults 94; \
-	check ./internal/lint 87; \
+	check ./internal/lint 92; \
 	check ./internal/telemetry 94; \
 	check ./internal/runstore 89; \
 	check ./internal/fabric 75; \

@@ -1,19 +1,28 @@
 // Command geolint runs the geoblock static-analysis suite over the
 // module: the machine check for the invariants the scan engine's
 // determinism and degradation contracts rest on (no wall clock or
-// global RNG in the scan path, no map-ordered output, contexts threaded
-// end to end, every Outage and scan error handled, no stray
-// goroutines). It is a tier-1 gate: `make check` runs it between `go
-// vet` and the tests.
+// global RNG in the scan path — directly or through wrapper functions
+// in other packages, no map-ordered output, contexts threaded end to
+// end, checked codec I/O with encode/decode field parity, a static
+// class-consistent metric namespace, mutex/atomic discipline on shared
+// snapshot state). It is a tier-1 gate: `make check` runs it between
+// `go vet` and the tests.
 //
-//	geolint ./...          # everything (the default)
-//	geolint -list          # describe the analyzers
+//	geolint ./...                      # everything (the default)
+//	geolint -list                      # describe the analyzers
+//	geolint -baseline lint.baseline ./...   # apply the committed ratchet
+//	geolint -json ./...                # machine-readable diagnostics
+//	geolint -write-baseline lint.baseline ./...  # accept current findings
 //
-// Exact-line escapes use `//geolint:allow <analyzer> <reason>`; see
-// internal/lint for the rules.
+// With -baseline, a diagnostic the baseline covers is reported but
+// does not fail the run; a new diagnostic fails it; a stale baseline
+// entry is flagged on stderr so the ratchet only tightens. Exact-line
+// escapes use `//geolint:allow <analyzer> <reason>` and block escapes
+// `//geolint:allow-block <analyzer> <reason>`; see internal/lint.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,34 +30,94 @@ import (
 	"geoblock/internal/lint"
 )
 
+// jsonDiag is the machine-readable diagnostic shape for CI annotation.
+type jsonDiag struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
+	baselinePath := flag.String("baseline", "", "baseline file: covered diagnostics do not fail the run")
+	writeBaseline := flag.String("write-baseline", "", "write current diagnostics to this baseline file and exit")
 	flag.Parse()
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
 
 	dir, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "geolint:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	pkgs, err := lint.Load(dir, flag.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "geolint:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	diags := lint.Check(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, []byte(lint.FormatBaseline(dir, diags)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "geolint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "geolint: %d invariant violation(s)\n", len(diags))
+
+	covered, surviving := []lint.Diagnostic(nil), diags
+	var stale []string
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		covered, surviving, stale = base.Apply(dir, diags)
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		emit := func(ds []lint.Diagnostic, baselined bool) {
+			for _, d := range ds {
+				out = append(out, jsonDiag{
+					Analyzer: d.Analyzer, File: d.Pos.Filename, Line: d.Pos.Line,
+					Column: d.Pos.Column, Message: d.Message, Baselined: baselined,
+				})
+			}
+		}
+		emit(surviving, false)
+		emit(covered, true)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range surviving {
+			fmt.Println(d)
+		}
+		for _, d := range covered {
+			fmt.Printf("%s [baselined]\n", d)
+		}
+	}
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "geolint: stale baseline entry (fixed? shrink the baseline): %s\n", s)
+	}
+	if len(surviving) > 0 {
+		fmt.Fprintf(os.Stderr, "geolint: %d invariant violation(s)\n", len(surviving))
 		os.Exit(1)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "geolint:", err)
+	os.Exit(2)
 }

@@ -212,12 +212,18 @@ func New(opts Options) *System {
 	}
 	sys := &System{World: w, study: s}
 	s.VerdictOut = func(snap *verdict.Snapshot) {
-		sys.verdicts.Store(snap)
+		sys.setVerdicts(snap)
 		if opts.VerdictOut != nil {
 			opts.VerdictOut(snap)
 		}
 	}
 	return sys
+}
+
+// setVerdicts publishes a freshly compiled snapshot. The atomic swap
+// lives here, with Verdicts, so the pointer discipline has one home.
+func (s *System) setVerdicts(snap *verdict.Snapshot) {
+	s.verdicts.Store(snap)
 }
 
 // Verdicts returns the verdict snapshot compiled by the most recently

@@ -50,3 +50,32 @@ func TestNakedgo(t *testing.T) {
 		"geoblock/internal/fabric/ngfix",
 		"geoblock/internal/verdict/ngfix")
 }
+
+func TestClockflow(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Clockflow,
+		// Facts flow clockwrap → timeutil → the scan path: the wrapper
+		// around time.Now sits two packages away from the diagnostic.
+		"geoblock/internal/clockwrap",
+		"geoblock/internal/timeutil",
+		"geoblock/internal/scanner/cffix")
+}
+
+func TestWirecheck(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Wirecheck,
+		"geoblock/internal/runstore/wcfix")
+}
+
+func TestTelemetrycheck(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Telemetrycheck,
+		// Both packages in one Check call: the T2 class conflict is a
+		// cross-package reconciliation in the Finish pass.
+		"geoblock/internal/fabric/tcfix2",
+		"geoblock/internal/pipeline/tcfix")
+}
+
+func TestSwapcheck(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Swapcheck,
+		// netwrap is out of scope but its netio facts feed swfix's S3.
+		"geoblock/internal/netwrap",
+		"geoblock/internal/fabric/swfix")
+}

@@ -1,0 +1,133 @@
+// The baseline ratchet: geolint's committed debt ledger. A baseline
+// entry is one accepted diagnostic — analyzer, module-relative file,
+// exact message — with a count, deliberately without a line number so
+// unrelated edits above an accepted finding do not churn the file. The
+// contract is a one-way ratchet: a diagnostic not covered by the
+// baseline fails the build (CI catches a new finding the moment it is
+// introduced), while a baseline entry no diagnostic matches is
+// reported as stale so the ledger can only shrink toward zero.
+//
+// Inline //geolint:allow directives and the baseline serve different
+// masters: a directive documents a finding that is *correct to keep*
+// (a crash hook that must tear a frame), the baseline parks a finding
+// that is *accepted for now* (an init-path access the heuristic cannot
+// prove single-threaded). New code gets directives; the baseline is
+// for the debt a new analyzer surfaces in old code.
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// baselineKey identifies one accepted diagnostic shape.
+type baselineKey struct {
+	Analyzer string
+	File     string // module-relative, slash-separated
+	Message  string
+}
+
+// A Baseline is a multiset of accepted diagnostics.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so a fresh checkout ratchets from zero.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: map[baselineKey]int{}}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: want <analyzer>\\t<file>\\t<message>", path, lineNo)
+		}
+		b.counts[baselineKey{parts[0], parts[1], parts[2]}]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Apply splits diags into the ones the baseline covers and the ones it
+// does not, and returns any stale entries (baselined shapes no current
+// diagnostic matches, formatted for display). Counts ratchet: three
+// accepted findings of one shape cover at most three diagnostics.
+// Paths in diags are made relative to root before matching.
+func (b *Baseline) Apply(root string, diags []Diagnostic) (covered, surviving []Diagnostic, stale []string) {
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, relPath(root, d.Pos.Filename), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			covered = append(covered, d)
+		} else {
+			surviving = append(surviving, d)
+		}
+	}
+	for k, n := range remaining {
+		if n > 0 {
+			stale = append(stale, fmt.Sprintf("%s\t%s\t%s (×%d)", k.Analyzer, k.File, k.Message, n))
+		}
+	}
+	sort.Strings(stale)
+	return covered, surviving, stale
+}
+
+// FormatBaseline renders diags as baseline file content, sorted and
+// prefixed with the header comment.
+func FormatBaseline(root string, diags []Diagnostic) string {
+	var lines []string
+	for _, d := range diags {
+		lines = append(lines, fmt.Sprintf("%s\t%s\t%s", d.Analyzer, relPath(root, d.Pos.Filename), d.Message))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# geolint baseline: accepted diagnostics, one per line as\n")
+	sb.WriteString("# <analyzer>\\t<file>\\t<message>. The ratchet only tightens —\n")
+	sb.WriteString("# new findings fail the build, and stale entries are flagged so\n")
+	sb.WriteString("# this file shrinks toward empty. Regenerate with\n")
+	sb.WriteString("#   go run ./cmd/geolint -write-baseline lint.baseline ./...\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// relPath makes file relative to root in slash form; files outside
+// root (GOROOT positions should not occur, but belt and braces) keep
+// their absolute path.
+func relPath(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

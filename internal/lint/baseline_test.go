@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geoblock/internal/lint"
+)
+
+func diag(analyzer, file string, line int, msg string) lint.Diagnostic {
+	return lint.Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: file, Line: line}, Message: msg}
+}
+
+// TestBaselineRatchet pins the one-way semantics: covered findings
+// pass even when their lines shift, new findings survive, a vanished
+// finding is stale, and counts ratchet — N baseline entries of one
+// shape cover at most N diagnostics.
+func TestBaselineRatchet(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "lint.baseline")
+	aGo, bGo := filepath.Join(root, "a.go"), filepath.Join(root, "b.go")
+	ds := []lint.Diagnostic{
+		diag("swapcheck", aGo, 10, "field X unguarded"),
+		diag("swapcheck", aGo, 20, "field X unguarded"),
+		diag("wirecheck", bGo, 3, "discarded result"),
+	}
+	if err := os.WriteFile(path, []byte(lint.FormatBaseline(root, ds)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same findings, lines shifted: all covered, nothing stale — the
+	// baseline is line-number-free on purpose.
+	shifted := []lint.Diagnostic{
+		diag("swapcheck", aGo, 11, "field X unguarded"),
+		diag("swapcheck", aGo, 25, "field X unguarded"),
+		diag("wirecheck", bGo, 5, "discarded result"),
+	}
+	covered, surviving, stale := bl.Apply(root, shifted)
+	if len(covered) != 3 || len(surviving) != 0 || len(stale) != 0 {
+		t.Fatalf("shifted lines: covered=%d surviving=%d stale=%v", len(covered), len(surviving), stale)
+	}
+
+	// A third copy of a twice-baselined shape survives: counts ratchet.
+	three := append(shifted[:2:2], diag("swapcheck", aGo, 30, "field X unguarded"))
+	_, surviving, _ = bl.Apply(root, append(three, shifted[2]))
+	if len(surviving) != 1 {
+		t.Fatalf("count ratchet: surviving=%v", surviving)
+	}
+
+	// A new shape survives; the unmatched entries are stale.
+	next := []lint.Diagnostic{
+		diag("swapcheck", aGo, 10, "field X unguarded"),
+		diag("clockflow", filepath.Join(root, "c.go"), 7, "reaches the wall clock"),
+	}
+	covered, surviving, stale = bl.Apply(root, next)
+	if len(covered) != 1 || len(surviving) != 1 || surviving[0].Analyzer != "clockflow" {
+		t.Fatalf("new shape: covered=%d surviving=%v", len(covered), surviving)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want one a.go and one b.go leftover", stale)
+	}
+	for _, s := range stale {
+		if !strings.Contains(s, "\t") {
+			t.Fatalf("stale entry not tab-formatted: %q", s)
+		}
+	}
+
+	// A missing file is an empty baseline: everything survives, so a
+	// fresh tree ratchets from zero.
+	empty, err := lint.LoadBaseline(filepath.Join(root, "nope.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, surviving, _ = empty.Apply(root, ds)
+	if len(surviving) != len(ds) {
+		t.Fatalf("empty baseline: surviving=%d, want %d", len(surviving), len(ds))
+	}
+
+	// A malformed line is a load error, not a silently empty ledger.
+	bad := filepath.Join(root, "bad.baseline")
+	if err := os.WriteFile(bad, []byte("swapcheck only-two-fields\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(bad); err == nil {
+		t.Fatal("loading a malformed baseline succeeded")
+	}
+}

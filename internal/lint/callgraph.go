@@ -1,0 +1,112 @@
+// Intra-package call-graph propagation, shared by the interprocedural
+// analyzers (clockflow, swapcheck). The model is deliberately simple:
+// a function "reaches" a property if its body contains a seed node, if
+// it mentions a same-package function that reaches it, or if it calls
+// a cross-package function whose exported fact says it does. Mentions
+// count, not just calls — assigning time.Sleep to a struct field is as
+// much of an escape as calling it — and function-literal bodies taint
+// the declaration that encloses them, which is the conservative
+// direction for goroutines and callbacks.
+//
+// What this model cannot see, on purpose: calls through interfaces and
+// function values (no concrete callee, no fact), and the standard
+// library's internals (loaded without function bodies). Both keep the
+// suite fast and quiet; the invariants geovet proves are about the
+// engine's own seams, not the runtime's.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// funcDecls maps every function and method declared in the package to
+// its declaration.
+func funcDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Body == nil {
+				continue // declared elsewhere (assembly, linkname)
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// propagate computes, for every function declared in the package, a
+// non-empty reason string when it transitively reaches the property:
+//
+//   - seed returns a reason when an AST node in a body is itself a
+//     source (e.g. an identifier resolving to time.Now);
+//   - imported returns a reason when a mentioned cross-package
+//     function carries the property as an exported fact.
+//
+// Reasons chain ("calls stamp, which calls time.Now") so diagnostics
+// can show the path. Propagation through same-package mentions runs to
+// a fixpoint in deterministic order.
+func propagate(p *Pass, seed func(n ast.Node) string, imported func(fn *types.Func) string) map[*types.Func]string {
+	decls := funcDecls(p)
+	reason := map[*types.Func]string{}
+	callees := map[*types.Func][]*types.Func{}
+
+	var order []*types.Func
+	for fn := range decls {
+		order = append(order, fn)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Pos() < order[j].Pos() })
+
+	for _, fn := range order {
+		var mentions []*types.Func
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			if reason[fn] != "" {
+				return false
+			}
+			if why := seed(n); why != "" {
+				reason[fn] = why
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || callee.Pkg() == nil {
+				return true
+			}
+			if _, samePkg := decls[callee]; samePkg {
+				mentions = append(mentions, callee)
+			} else if why := imported(callee); why != "" {
+				reason[fn] = "calls " + callee.Pkg().Name() + "." + callee.Name() + ", which " + why
+				return false
+			}
+			return true
+		})
+		callees[fn] = mentions
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			if reason[fn] != "" {
+				continue
+			}
+			for _, c := range callees[fn] {
+				if why := reason[c]; why != "" {
+					reason[fn] = "calls " + c.Name() + ", which " + why
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reason
+}

@@ -37,12 +37,15 @@ var determinismScope = scope(
 // the wall clock. time.Duration values and arithmetic stay legal — only
 // observing real time is forbidden.
 var wallClockFuncs = map[string]bool{
-	"Now":   true,
-	"Since": true,
-	"Until": true,
-	"Sleep": true,
-	"After": true,
-	"Tick":  true,
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
 }
 
 // randPackages are the global-RNG packages. Any import is a violation:
@@ -87,7 +90,7 @@ func runDeterminism(p *Pass) {
 				// sanctioned wall-clock read: the Wall implementation of
 				// the injected Clock interface, which lives in clock.go
 				// and nowhere else.
-				if filepath.Base(p.Fset.Position(id.Pos()).Filename) == "clock.go" {
+				if filepath.Base(fileName(p.Fset, id.Pos())) == "clock.go" {
 					return true
 				}
 				p.Reportf(id.Pos(), "time.%s in internal/telemetry outside the Clock seam: all telemetry timing must flow through the injected Clock (clock.go), or snapshots stop being reproducible", fn.Name())

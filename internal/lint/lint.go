@@ -46,6 +46,10 @@ type Analyzer struct {
 	Match func(pkgPath string) bool
 	// Run inspects one package, reporting findings through the pass.
 	Run func(*Pass)
+	// Finish, if non-nil, runs once after every package, for
+	// module-wide reconciliation over the facts Run exported (see
+	// fact.go). Analyzers without cross-package state leave it nil.
+	Finish func(*FinishPass)
 }
 
 // A Pass is one analyzer's run over one package.
@@ -59,6 +63,7 @@ type Pass struct {
 	Path string
 
 	diags *[]Diagnostic
+	facts *factStore
 }
 
 // Reportf records a finding at pos.
@@ -89,16 +94,22 @@ func All() []*Analyzer {
 		Ctxflow,
 		Outcomecheck,
 		Nakedgo,
+		Clockflow,
+		Wirecheck,
+		Telemetrycheck,
+		Swapcheck,
 	}
 }
 
-// Check runs every matching analyzer over pkgs, applies //geolint:allow
-// suppressions, and returns the surviving diagnostics in file/line
-// order. Malformed suppression directives are returned as diagnostics
-// in their own right.
+// Check runs every matching analyzer over pkgs — dependencies first,
+// so fact-exporting analyzers see their imports' conclusions — applies
+// //geolint:allow suppressions, and returns the surviving diagnostics
+// in file/line order. Malformed suppression directives are returned as
+// diagnostics in their own right.
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	facts := newFactStore()
+	for _, pkg := range topoOrder(pkgs) {
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
@@ -111,7 +122,13 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				Path:     pkg.Path,
 				diags:    &diags,
+				facts:    facts,
 			})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(&FinishPass{Analyzer: a, facts: facts, diags: &diags})
 		}
 	}
 
@@ -142,6 +159,47 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return kept
+}
+
+// topoOrder returns pkgs with every package after the packages it
+// imports (restricted to pkgs itself), so facts exported about a
+// dependency exist before its importers are analyzed. Packages are
+// matched by variant-stripped path: a test-augmented variant
+// ("p [p.test]") stands in for the plain package its importers link
+// against. Import cycles through test variants (p's tests import q,
+// q's tests import p) cannot be ordered both ways; the DFS breaks
+// them arbitrarily, which only costs fact precision, never a loop.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[stripVariant(p.Types.Path())] = p
+	}
+	order := make([]*Package, 0, len(pkgs))
+	state := make(map[*Package]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[stripVariant(imp.Path())]; ok && dep != p {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}
+
+// tokenPosition builds a Position for diagnostics reported from facts,
+// which carry file and line but no offset.
+func tokenPosition(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: 1}
 }
 
 // scope builds a Match func from import-path patterns. A bare path
@@ -200,9 +258,18 @@ func isNamedType(t types.Type, pkgPath, name string) bool {
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
 }
 
+// fileName returns the on-disk name of the file holding pos. It asks
+// the FileSet for the unadjusted position: a generated or fixture file
+// carrying //line directives must be classified by the file it IS, not
+// the file it claims to be, or a directive could smuggle scan-path
+// code into a _test.go or clock.go exemption.
+func fileName(fset *token.FileSet, pos token.Pos) string {
+	return fset.PositionFor(pos, false).Filename
+}
+
 // isTestFile reports whether pos sits in a _test.go file.
 func isTestFile(fset *token.FileSet, pos token.Pos) bool {
-	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+	return strings.HasSuffix(fileName(fset, pos), "_test.go")
 }
 
 // errorIface is the universe error interface, for Implements checks.

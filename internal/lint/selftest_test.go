@@ -1,29 +1,46 @@
 package lint_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"geoblock/internal/lint"
 )
 
 // TestSuiteSelfClean runs the full suite over the whole module, test
-// files included — the same invocation as `make lint` — and requires it
-// to come back empty. Any new wall-clock call, unsorted map emission,
-// severed context, dropped outcome, or naked goroutine anywhere in the
-// tree fails this test (the documented bench_test.go wall-time
+// files included — the same invocation as `make lint` — and requires
+// every diagnostic to be either absent or covered by the committed
+// lint.baseline. Any new wall-clock call, unsorted map emission,
+// severed context, dropped outcome, naked goroutine, codec-parity gap,
+// metric-class conflict, or snapshot-discipline violation anywhere in
+// the tree fails this test; so does a stale baseline entry, which
+// keeps the ratchet one-way (the documented bench_test.go wall-time
 // suppressions are the only sanctioned escapes).
 func TestSuiteSelfClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
 	}
-	pkgs, err := lint.Load("../..", "./...")
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	pkgs, err := lint.Load(root, "./...")
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
-	for _, d := range lint.Check(pkgs, lint.All()) {
-		t.Errorf("%s", d)
+	bl, err := lint.LoadBaseline(filepath.Join(root, "lint.baseline"))
+	if err != nil {
+		t.Fatalf("loading lint.baseline: %v", err)
+	}
+	diags := lint.Check(pkgs, lint.All())
+	_, surviving, stale := bl.Apply(root, diags)
+	for _, d := range surviving {
+		t.Errorf("unbaselined: %s", d)
+	}
+	for _, s := range stale {
+		t.Errorf("stale baseline entry (fixed? shrink lint.baseline): %s", s)
 	}
 }

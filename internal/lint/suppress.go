@@ -1,20 +1,33 @@
-// Suppression directives: exact-line, reason-required escapes from the
-// suite. The shape is deliberately rigid — a directive names exactly one
-// analyzer, must justify itself, and covers only its own source line —
-// so the allowlist stays greppable and can never silently widen.
+// Suppression directives: reason-required escapes from the suite. The
+// shape is deliberately rigid — a directive names exactly one analyzer
+// and must justify itself — so the allowlist stays greppable and can
+// never silently widen. Two granularities:
+//
+//	//geolint:allow <analyzer> <reason...>
+//
+// on the same line as the diagnostic covers exactly that line, and
+//
+//	//geolint:allow-block <analyzer> <reason...>
+//
+// on a line of its own covers the next declaration or statement in
+// full — the escape for a construct that provokes several diagnostics
+// at once (a deliberate crash-injection block, a derived-field group),
+// still scoped to one analyzer so an allowance for wirecheck can never
+// swallow a determinism finding inside the same block.
 package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"strings"
 )
 
-// directivePrefix introduces a suppression comment. The full form is
-//
-//	//geolint:allow <analyzer> <reason...>
-//
-// placed on the same line as the diagnostic it silences.
+// directivePrefix introduces an exact-line suppression comment.
 const directivePrefix = "//geolint:allow"
+
+// blockDirectivePrefix introduces a block suppression comment, placed
+// on its own line before the declaration or statement it covers.
+const blockDirectivePrefix = "//geolint:allow-block"
 
 // lineKey addresses one source line of one file.
 type lineKey struct {
@@ -22,11 +35,31 @@ type lineKey struct {
 	line int
 }
 
-// allowSet indexes well-formed directives by (file, line, analyzer).
-type allowSet map[lineKey]map[string]bool
+// allowRange is one block directive's extent: the analyzer it silences
+// over a contiguous line range of one file.
+type allowRange struct {
+	file       string
+	start, end int
+	analyzer   string
+}
 
-func (s allowSet) suppresses(d Diagnostic) bool {
-	return s[lineKey{d.Pos.Filename, d.Pos.Line}][d.Analyzer]
+// allowSet indexes exact-line directives by (file, line, analyzer) and
+// holds the block ranges alongside.
+type allowSet struct {
+	lines  map[lineKey]map[string]bool
+	blocks []allowRange
+}
+
+func (s *allowSet) suppresses(d Diagnostic) bool {
+	if s.lines[lineKey{d.Pos.Filename, d.Pos.Line}][d.Analyzer] {
+		return true
+	}
+	for _, r := range s.blocks {
+		if r.analyzer == d.Analyzer && r.file == d.Pos.Filename && r.start <= d.Pos.Line && d.Pos.Line <= r.end {
+			return true
+		}
+	}
+	return false
 }
 
 // collectAllows scans every comment of every package for suppression
@@ -34,8 +67,8 @@ func (s allowSet) suppresses(d Diagnostic) bool {
 // ones — a missing reason, or an analyzer name the suite doesn't know —
 // come back as diagnostics so a bad escape hatch fails the build
 // instead of silently allowing nothing (or worse, something else).
-func collectAllows(pkgs []*Package, known map[string]bool) (allowSet, []Diagnostic) {
-	allows := allowSet{}
+func collectAllows(pkgs []*Package, known map[string]bool) (*allowSet, []Diagnostic) {
+	allows := &allowSet{lines: map[lineKey]map[string]bool{}}
 	var malformed []Diagnostic
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -52,14 +85,19 @@ func collectAllows(pkgs []*Package, known map[string]bool) (allowSet, []Diagnost
 							Message:  fmt.Sprintf(format, args...),
 						})
 					}
-					rest := c.Text[len(directivePrefix):]
+					block := strings.HasPrefix(c.Text, blockDirectivePrefix)
+					prefix := directivePrefix
+					if block {
+						prefix = blockDirectivePrefix
+					}
+					rest := c.Text[len(prefix):]
 					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 						// e.g. //geolint:allowance — not ours.
 						continue
 					}
 					fields := strings.Fields(rest)
 					if len(fields) == 0 {
-						bad("suppression names no analyzer: want %s <analyzer> <reason>", directivePrefix)
+						bad("suppression names no analyzer: want %s <analyzer> <reason>", prefix)
 						continue
 					}
 					name := fields[0]
@@ -68,17 +106,47 @@ func collectAllows(pkgs []*Package, known map[string]bool) (allowSet, []Diagnost
 						continue
 					}
 					if len(fields) < 2 {
-						bad("suppression of %s gives no reason: want %s %s <reason>", name, directivePrefix, name)
+						bad("suppression of %s gives no reason: want %s %s <reason>", name, prefix, name)
+						continue
+					}
+					if block {
+						start, end, ok := blockExtent(pkg, f, c)
+						if !ok {
+							bad("%s is not followed by a declaration or statement in this file: a block suppression must introduce the construct it covers", blockDirectivePrefix)
+							continue
+						}
+						allows.blocks = append(allows.blocks, allowRange{pos.Filename, start, end, name})
 						continue
 					}
 					key := lineKey{pos.Filename, pos.Line}
-					if allows[key] == nil {
-						allows[key] = map[string]bool{}
+					if allows.lines[key] == nil {
+						allows.lines[key] = map[string]bool{}
 					}
-					allows[key][name] = true
+					allows.lines[key][name] = true
 				}
 			}
 		}
 	}
 	return allows, malformed
+}
+
+// blockExtent finds the next declaration or statement starting after
+// the directive comment and returns its line span. Struct fields count
+// too, so a derived-field group in a type declaration can carry one
+// directive.
+func blockExtent(pkg *Package, f *ast.File, c *ast.Comment) (start, end int, ok bool) {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Decl, ast.Stmt, *ast.Field:
+			if n.Pos() > c.End() && (best == nil || n.Pos() < best.Pos()) {
+				best = n
+			}
+		}
+		return true
+	})
+	if best == nil {
+		return 0, 0, false
+	}
+	return pkg.Fset.Position(best.Pos()).Line, pkg.Fset.Position(best.End()).Line, true
 }

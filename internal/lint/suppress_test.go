@@ -80,3 +80,68 @@ func TestSuppressions(t *testing.T) {
 		t.Logf("all diagnostics:\n%s", strings.Join(all, "\n"))
 	}
 }
+
+// TestBlockSuppressions pins the //geolint:allow-block directive
+// against the blockfix fixture: a block over a statement covers
+// exactly that statement, a block scoped to one analyzer never
+// swallows another's finding, and a trailing directive that
+// introduces no construct is itself a diagnostic.
+func TestBlockSuppressions(t *testing.T) {
+	const fixture = "testdata/src/geoblock/internal/pipeline/blockfix/blockfix.go"
+	src, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(src), "\n")
+	lineOf := func(sub string) int {
+		for i, l := range lines {
+			if strings.Contains(l, sub) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture has no line containing %q", sub)
+		return 0
+	}
+
+	type want struct {
+		analyzer string
+		line     int
+		msg      string
+	}
+	wants := []want{
+		// a := time.Now() is covered; the next statement is not.
+		{"determinism", lineOf("b := time.Now()"), "wall clock"},
+		// A block scoped to mapsort never swallows a determinism finding.
+		{"determinism", lineOf("func wrongAnalyzer") + 1, "wall clock"},
+		// A trailing directive introduces nothing: malformed.
+		{"geolint", lineOf("covering nothing"), "not followed by a declaration or statement"},
+	}
+
+	pkgs := linttest.Load(t, "testdata/src", "geoblock/internal/pipeline/blockfix")
+	diags := lint.Check(pkgs, lint.All())
+
+	unmatched := append([]want(nil), wants...)
+	for _, d := range diags {
+		found := false
+		for i, w := range unmatched {
+			if w.analyzer == d.Analyzer && w.line == d.Pos.Line && strings.Contains(d.Message, w.msg) {
+				unmatched = append(unmatched[:i], unmatched[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range unmatched {
+		t.Errorf("missing diagnostic: %s at line %d matching %q", w.analyzer, w.line, w.msg)
+	}
+	if t.Failed() {
+		var all []string
+		for _, d := range diags {
+			all = append(all, d.String())
+		}
+		t.Logf("all diagnostics:\n%s", strings.Join(all, "\n"))
+	}
+}

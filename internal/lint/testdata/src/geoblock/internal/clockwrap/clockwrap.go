@@ -1,0 +1,13 @@
+// Fixture: an out-of-scope helper package that reads the wall clock.
+// Nothing is reported here — clockflow only exports the fact that
+// Stamp reaches time.Now; the diagnostic lands at the scan-path call
+// site two imports away.
+package clockwrap
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time { return time.Now() }
+
+// Span is pure duration arithmetic: no fact, no diagnostic anywhere.
+func Span(d time.Duration) time.Duration { return 2 * d }

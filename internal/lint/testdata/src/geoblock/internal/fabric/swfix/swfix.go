@@ -1,0 +1,86 @@
+// Fixture: the shared-state discipline rules. S1 — fields declared
+// below a struct's mutex are the guarded set, and access requires
+// holding a lock or the *Locked caller-holds convention. S2 — atomic
+// fields are touched only by their owning type's methods. S3 — no
+// network I/O while a mutex may be held, seen through cross-package
+// wrappers via the netio facts.
+package swfix
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"geoblock/internal/netwrap"
+)
+
+// table follows the layout convention: gen is immutable after init and
+// sits above mu; leases below mu is the guarded set.
+type table struct {
+	gen int64
+
+	mu     sync.Mutex
+	leases map[string]int
+}
+
+// get holds the lock: clean.
+func (t *table) get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.leases[k]
+}
+
+// getLocked declares that its caller holds the lock: clean.
+func (t *table) getLocked(k string) int {
+	return t.leases[k]
+}
+
+// generation reads above the mutex line: clean.
+func (t *table) generation() int64 { return t.gen }
+
+// peek touches the guarded set with no lock and no naming claim.
+func (t *table) peek(k string) int {
+	return t.leases[k] // want "field table.leases is declared below its guarding mutex but peek neither locks one nor follows the .Locked caller-holds convention"
+}
+
+// probe documents why its unguarded read is tolerable.
+func (t *table) probe(k string) int {
+	return t.leases[k] //geolint:allow swapcheck fixture-documented racy probe, result is advisory only
+}
+
+// holder owns an atomic field; only its methods may touch it.
+type holder struct {
+	v atomic.Int64
+}
+
+func (h *holder) load() int64 { return h.v.Load() }
+
+// poke reaches into the atomic from outside the owning type.
+func poke(h *holder) int64 {
+	return h.v.Load() // want "atomic field swfix.holder.v touched outside swfix.holder's own methods"
+}
+
+// refreshDirect dials while holding the lock: the direct S3 case.
+func (t *table) refreshDirect(addr string) {
+	t.mu.Lock()
+	_, _ = net.Dial("tcp", addr) // want "network I/O while a mutex may be held .calls net.Dial."
+	t.mu.Unlock()
+}
+
+// refreshViaWrapper does the same through an out-of-scope wrapper; the
+// netio fact sees through it.
+func (t *table) refreshViaWrapper(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = netwrap.Ping(addr) // want "network I/O while a mutex may be held .calls netwrap.Ping, which calls net.Dial."
+}
+
+// refreshAfterUnlock copies the state out, unlocks, then calls: clean.
+func (t *table) refreshAfterUnlock(addr string) {
+	t.mu.Lock()
+	n := len(t.leases)
+	t.mu.Unlock()
+	if n > 0 {
+		_ = netwrap.Ping(addr)
+	}
+}

@@ -1,0 +1,13 @@
+// Fixture: the other half of the T2 cross-package conflict. This site
+// sorts first (fabric < pipeline), so it fixes "tcfix.conflict" as a
+// runtime gauge and the diagnostic lands on pipeline/tcfix's
+// deterministic counter. The distinct name below stays quiet: one
+// name, one class, no conflict.
+package tcfix2
+
+import "geoblock/internal/telemetry"
+
+func register(reg *telemetry.Registry) {
+	reg.RuntimeGauge("tcfix.conflict").Set(1)
+	reg.RuntimeGauge("tcfix2.leases").Set(3)
+}

@@ -1,0 +1,16 @@
+// Fixture: an out-of-scope wrapper around network I/O. Swapcheck's
+// fact layer marks Ping as reaching net.Dial, so a swapScope package
+// holding a mutex across a Ping call is flagged without this package
+// ever being in scope itself.
+package netwrap
+
+import "net"
+
+// Ping dials a peer and hangs up.
+func Ping(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}

@@ -1,0 +1,23 @@
+// Fixture for block-directive semantics, checked by
+// TestBlockSuppressions (no // want comments here — the cases include
+// malformed directives whose diagnostics land on the directive line
+// itself): a block directive over a statement covers only that
+// statement, a directive scoped to another analyzer swallows nothing,
+// and a trailing directive with no construct after it is malformed.
+package blockfix
+
+import "time"
+
+func pair() (time.Time, time.Time) {
+	//geolint:allow-block determinism fixture sanctions the first read only
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}
+
+//geolint:allow-block mapsort fixture names the wrong analyzer on purpose
+func wrongAnalyzer() time.Time {
+	return time.Now()
+}
+
+//geolint:allow-block determinism fixture trails the file, covering nothing

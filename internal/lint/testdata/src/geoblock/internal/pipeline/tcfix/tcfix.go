@@ -1,0 +1,78 @@
+// Fixture: the metric-namespace rules. T1 — names are literals,
+// package consts, or telemetry.Label over one (label values may be
+// dynamic, keys may not), with the one sanctioned indirection of an
+// unexported helper whose every caller passes a static name. T3 — a
+// deterministic-class registration on an HTTP-handler-only path is a
+// snapshot perturbed by serving load. The cross-package T2 conflict
+// partner lives in fabric/tcfix2.
+package tcfix
+
+import (
+	"net/http"
+
+	"geoblock/internal/telemetry"
+)
+
+const metRetries = "tcfix.retries"
+
+// registerStatics pins the negatives: every static-name shape.
+func registerStatics(reg *telemetry.Registry, code string) {
+	reg.Counter("tcfix.samples").Add(1)
+	reg.Counter(metRetries).Add(1)
+	reg.Counter(telemetry.Label(metRetries, "code", code)).Add(1)
+}
+
+// DynamicName is exported, so the parameter indirection is not
+// sanctioned: the audit cannot see its callers in other packages.
+func DynamicName(reg *telemetry.Registry, name string) {
+	reg.Counter(name).Add(1) // want "metric name for Counter is not a string literal, package const, or telemetry.Label over one"
+}
+
+// labelKey: label values may be dynamic, keys may not.
+func labelKey(reg *telemetry.Registry, k string) {
+	reg.Counter(telemetry.Label("tcfix.base", k, "v")).Add(1) // want "telemetry.Label key is not a string literal or const"
+}
+
+// countGood is the sanctioned indirection: unexported, and every call
+// site passes a static name, each recorded as a registration.
+func countGood(reg *telemetry.Registry, name string) {
+	reg.Counter(name).Add(1)
+}
+
+func callsGood(reg *telemetry.Registry) {
+	countGood(reg, "tcfix.steps")
+}
+
+// countBad has one dynamic caller, so both the call site and the
+// helper's registration are flagged — the indirection is only
+// sanctioned while every caller keeps it auditable.
+func countBad(reg *telemetry.Registry, name string) {
+	reg.Counter(name).Add(1) // want "metric name for Counter is not a string literal, package const, or telemetry.Label over one"
+}
+
+func callsBad(reg *telemetry.Registry, dyn string) {
+	countBad(reg, dyn) // want "metric name passed to countBad is not a string literal or package const"
+}
+
+// registerConflict registers a name fabric/tcfix2 also registers with
+// a different class; the module-wide Finish audit flags whichever site
+// sorts second (this one — fabric sorts before pipeline).
+func registerConflict(reg *telemetry.Registry) {
+	reg.Counter("tcfix.conflict").Add(1) // want "metric \"tcfix.conflict\" registered as deterministic counter here but as runtime gauge"
+}
+
+// server exercises T3: the handler itself and an unexported helper
+// reachable only from it are both handler-only paths.
+type server struct{ reg *telemetry.Registry }
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("tcfix.requests").Add(1) // want "deterministic-class Counter registered on an HTTP-handler path"
+	s.reg.RuntimeCounter("tcfix.requests.wall").Add(1)
+	s.observe()
+}
+
+// observe is unexported and called only from ServeHTTP: handler-only
+// by the fixpoint.
+func (s *server) observe() {
+	s.reg.Gauge("tcfix.inflight").Add(1) // want "deterministic-class Gauge registered on an HTTP-handler path"
+}

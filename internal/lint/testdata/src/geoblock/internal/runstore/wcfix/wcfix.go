@@ -1,0 +1,82 @@
+// Fixture: the codec rules. W1 — wire I/O and checksum results may
+// not be discarded; W2 — a field the encoder writes must be read by
+// the paired decoder; W3 — once a codec touches a struct, every field
+// is either on the wire or suppressed with a reason at its
+// declaration. Negatives pin the exemptions: in-memory writers,
+// deferred close-out syncs, properly checked outcomes, and the block
+// directive over a deliberate torn write.
+package wcfix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// header is the fixture's wire struct. etag is rebuilt at decode and
+// documents that at its declaration; crc has no such excuse.
+type header struct {
+	Version uint32
+	Count   uint32
+	crc     uint32 // want "field wcfix.header.crc is never touched by Encode"
+	etag    string //geolint:allow wirecheck derived at decode: recomputed from the payload bytes
+}
+
+// Encode writes the header through an unexported helper; the parity
+// closure follows the delegation.
+func Encode(w io.Writer, h *header) error {
+	if err := binary.Write(w, binary.LittleEndian, h.Version); err != nil {
+		return err
+	}
+	return encodeCount(w, h)
+}
+
+func encodeCount(w io.Writer, h *header) error {
+	return binary.Write(w, binary.LittleEndian, h.Count) // want "field wcfix.header.Count is written by Encode but never read by the paired Decode"
+}
+
+// Decode reads Version back but forgets Count.
+func Decode(r io.Reader, h *header) error {
+	return binary.Read(r, binary.LittleEndian, &h.Version)
+}
+
+// flush discards wire outcomes both ways W1 catches.
+func flush(f *os.File, b []byte) {
+	f.Write(b)   // want "discarded result of File.Write"
+	_ = f.Sync() // want "error result of File.Sync assigned to _"
+}
+
+// digest drops a checksum on the floor: CRC results count too.
+func digest(b []byte) {
+	crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli)) // want "discarded result of crc32.Checksum"
+}
+
+// buffered is exempt: an in-memory writer's error exists only to
+// satisfy the io interfaces.
+func buffered(b *bytes.Buffer, p []byte) {
+	b.Write(p)
+}
+
+// closeOut is exempt: the deferred close-out Sync idiom.
+func closeOut(f *os.File) {
+	defer f.Sync()
+}
+
+// checked is the proper shape: every outcome flows somewhere.
+func checked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// The block directive covers the whole next declaration: deliberate
+// torn-write modeling, as the journal's crash hook does it.
+//
+//geolint:allow-block wirecheck deliberate torn half-frame, modeling a crash mid-record
+func sever(f *os.File, b []byte) {
+	f.Write(b[:len(b)/2])
+	_ = f.Sync()
+}

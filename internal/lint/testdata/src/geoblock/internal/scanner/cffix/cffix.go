@@ -1,0 +1,28 @@
+// Fixture: scan-path code (scanner is determinism scope) calling
+// out-of-scope wrappers. Clockflow flags the calls whose callees'
+// facts say they transitively reach the wall clock or the global RNG
+// — through any number of wrapper packages — and stays quiet on the
+// clean ones and on the documented suppression.
+package cffix
+
+import (
+	"time"
+
+	"geoblock/internal/timeutil"
+)
+
+func sample() int64 {
+	return timeutil.Timestamp() // want "timeutil.Timestamp reaches the wall clock or global RNG .calls clockwrap.Stamp, which calls time.Now."
+}
+
+func jitter(n int) int {
+	return timeutil.Pick(n) // want "timeutil.Pick reaches the wall clock or global RNG .calls math/rand.Intn."
+}
+
+func widen(d time.Duration) time.Duration {
+	return timeutil.Span(d) // clean wrapper: no fact, no diagnostic
+}
+
+func sanctioned() int64 {
+	return timeutil.Timestamp() //geolint:allow clockflow fixture-documented escape for the suppression path
+}

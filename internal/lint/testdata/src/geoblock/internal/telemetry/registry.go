@@ -1,0 +1,30 @@
+// Fixture stand-in for the real telemetry registry: just enough
+// surface — the Registry constructors and Label — for telemetrycheck's
+// receiver matching. The package path is what matters; telemetrycheck
+// exempts the package itself, so nothing here is analyzed.
+package telemetry
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (*Registry) Counter(name string) *Counter        { return nil }
+func (*Registry) RuntimeCounter(name string) *Counter { return nil }
+func (*Registry) Gauge(name string) *Gauge            { return nil }
+func (*Registry) RuntimeGauge(name string) *Gauge     { return nil }
+func (*Registry) Histogram(name string, min, max float64, bins int) *Histogram {
+	return nil
+}
+func (*Registry) RuntimeHistogram(name string, min, max float64, bins int) *Histogram {
+	return nil
+}
+
+func (*Counter) Add(n int64) {}
+func (*Gauge) Set(v int64)   {}
+func (*Gauge) Add(n int64)   {}
+
+func Label(name string, kv ...string) string { return name }

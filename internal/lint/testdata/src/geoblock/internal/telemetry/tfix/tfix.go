@@ -12,7 +12,11 @@ func wait() {
 	time.Sleep(time.Millisecond) // want "time.Sleep in internal/telemetry outside the Clock seam"
 }
 
-// Duration arithmetic and tickers stay legal: only observing real time
-// is forbidden, and periodic progress output is driven by a ticker the
-// caller owns.
-func ticker() *time.Ticker { return time.NewTicker(time.Second) }
+// Tickers are wall-clock observations too: a ticker outside the
+// clock.go seam turns elapsed real time into program behavior.
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker in internal/telemetry outside the Clock seam"
+}
+
+// Pure duration arithmetic stays legal: no real time is observed.
+func double(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,21 @@
+// Fixture: an out-of-scope wrapper package one hop from the sources.
+// The fact chain built here ("calls clockwrap.Stamp, which calls
+// time.Now") is what the scan-path diagnostic prints.
+package timeutil
+
+import (
+	"math/rand"
+	"time"
+
+	"geoblock/internal/clockwrap"
+)
+
+// Timestamp wraps the clockwrap wrapper: two packages sit between the
+// scan path and time.Now.
+func Timestamp() int64 { return clockwrap.Stamp().UnixNano() }
+
+// Pick wraps the global RNG one hop away.
+func Pick(n int) int { return rand.Intn(n) }
+
+// Span stays clean: it only uses the clean helper.
+func Span(d time.Duration) time.Duration { return clockwrap.Span(d) }

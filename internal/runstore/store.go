@@ -143,7 +143,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	if len(segs) == 0 {
-		if err := s.createSegment(0); err != nil {
+		if err := s.createSegmentLocked(0); err != nil {
 			return nil, err
 		}
 		return s, nil
@@ -191,9 +191,10 @@ func (s *Store) listSegments() ([]string, error) {
 // segName renders the i-th segment file name.
 func segName(i int) string { return fmt.Sprintf("seg-%08d.log", i) }
 
-// createSegment starts segment index i as the new tail and rewrites
-// the manifest to match.
-func (s *Store) createSegment(i int) error {
+// createSegmentLocked starts segment index i as the new tail and
+// rewrites the manifest to match. Callers hold s.mu (or, during Open,
+// own the store exclusively before it is published).
+func (s *Store) createSegmentLocked(i int) error {
 	name := segName(i)
 	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -423,6 +424,7 @@ func (s *Store) appendLocked(rec Record) error {
 		return ErrSevered
 	}
 	fr := frame(encodeRecord(rec))
+	//geolint:allow-block wirecheck deliberate torn-frame injection: the crash hook discards write and sync errors on purpose to model kill -9 mid-record
 	if s.opts.Crash != nil && s.opts.Crash(s.written) {
 		// Sever mid-record: flush a torn half-frame, exactly the state a
 		// kill -9 between write and fsync leaves behind.
@@ -467,7 +469,7 @@ func (s *Store) rotateLocked() error {
 		return err
 	}
 	s.opts.Metrics.RuntimeCounter(MetSegmentRotations).Add(1)
-	return s.createSegment(len(s.segments))
+	return s.createSegmentLocked(len(s.segments))
 }
 
 // Close fsyncs and closes the tail segment. Further writes error.

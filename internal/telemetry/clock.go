@@ -26,6 +26,14 @@ func (Wall) Now() time.Time {
 	return time.Now() // the engine's sole sanctioned wall-clock read
 }
 
+// wallTicker starts a real-time ticker. It lives here — not in the
+// progress reporter that uses it — so every wall-time read in the
+// package, periodic or point-in-time, sits inside the one sanctioned
+// seam, where clockflow's transitive-reachability facts start from.
+func wallTicker(every time.Duration) *time.Ticker {
+	return time.NewTicker(every)
+}
+
 // Virtual is a manually advanced clock pinned at the Unix epoch. It
 // only moves when Advance is called, so spans measured against it
 // record zero (or exactly the advanced) durations — the foundation of

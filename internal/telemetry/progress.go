@@ -1,8 +1,8 @@
 // Periodic progress reporting for the CLIs: a goroutine that prints
-// line() to w on every tick until stopped. The ticker is the only
-// wall-time dependency and lives outside the metric path, so it never
-// touches snapshot determinism; runProgress is split out so tests can
-// drive the loop from a plain channel instead of real time.
+// line() to w on every tick until stopped. The ticker comes from the
+// clock.go seam (wallTicker) and lives outside the metric path, so it
+// never touches snapshot determinism; runProgress is split out so
+// tests can drive the loop from a plain channel instead of real time.
 package telemetry
 
 import (
@@ -20,7 +20,7 @@ func StartProgress(w io.Writer, every time.Duration, line func() string) (stop f
 	if every <= 0 {
 		every = 2 * time.Second
 	}
-	t := time.NewTicker(every)
+	t := wallTicker(every)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)

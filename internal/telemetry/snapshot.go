@@ -84,7 +84,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	sort.Strings(names)
 	for _, name := range names {
 		c := r.counters[name]
-		snap.Counters = append(snap.Counters, Metric{Name: name, Value: c.v.Load(), Runtime: c.runtime})
+		snap.Counters = append(snap.Counters, Metric{Name: name, Value: c.Value(), Runtime: c.runtime})
 	}
 
 	names = names[:0]
@@ -94,7 +94,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	sort.Strings(names)
 	for _, name := range names {
 		g := r.gauges[name]
-		snap.Gauges = append(snap.Gauges, Metric{Name: name, Value: g.v.Load(), Runtime: g.runtime})
+		snap.Gauges = append(snap.Gauges, Metric{Name: name, Value: g.Value(), Runtime: g.runtime})
 	}
 
 	names = names[:0]

@@ -37,12 +37,17 @@ import (
 // not usable; build one with New or NewWithClock. A nil *Registry is a
 // valid no-op receiver for every method.
 type Registry struct {
-	clock    Clock
+	// clock and root are set at construction and never reassigned:
+	// they sit above mu, outside the guarded set, because StartSpan
+	// and Merge follow the root pointer without the registry lock
+	// (node has its own).
+	clock Clock
+	root  *node
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	root     *node
 }
 
 // New returns a registry on a Virtual clock pinned at the epoch: all

@@ -82,7 +82,7 @@ type Source struct {
 // interned domain table for the hot "blocked?" test, plus the sorted
 // set-bit indices and their page kinds for the full verdict.
 type countryRow struct {
-	bits  []uint64
+	bits  []uint64 //geolint:allow wirecheck rebuilt from doms by index(), never on the wire
 	doms  []int32
 	kinds []byte
 }
@@ -119,12 +119,12 @@ type Snapshot struct {
 
 	domains    []string
 	countries  []geo.CountryCode
-	domainIdx  map[string]int32
-	countryIdx map[geo.CountryCode]int32
+	domainIdx  map[string]int32  //geolint:allow wirecheck derived at decode by index(), never on the wire
+	countryIdx map[geo.CountryCode]int32 //geolint:allow wirecheck derived at decode by index(), never on the wire
 	rows       []countryRow
 
 	blocked int
-	etag    string
+	etag    string //geolint:allow wirecheck recomputed from the encoded bytes at decode, never on the wire
 }
 
 // Compile builds a snapshot from a completed study's outputs. Domains
