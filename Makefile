@@ -36,10 +36,16 @@
 #                coordinator plus three scanworker processes (one
 #                chaos-killed mid-shard) must journal byte-identically
 #                to a single-process run of the same scan
-#   make perf    regenerate the recorded perf trajectory (BENCH_7.json):
-#                samples/sec single-process vs 1/2/4 fabric workers,
-#                resume replay speedup, ns/record wire encoding, and
-#                ns/lookup + allocs/lookup against the verdict snapshot
+#   make perf    regenerate the recorded perf trajectory (BENCH_9.json,
+#                schema geobench/3): samples/sec single-process vs
+#                1/2/4 fabric workers, allocs/sample, per-worker lease
+#                wait, resume replay speedup, ns/record wire encoding,
+#                and ns/lookup + allocs/lookup against the verdict
+#                snapshot
+#   make perf-diff  gate the fresh trajectory against the committed
+#                BENCH_7.json baseline: >15% regression in samples/sec,
+#                ns/lookup, or ns/record (or any allocation on the
+#                verdict serving path) fails the build
 #   make soak    the verdict edge's full soak: 32 concurrent clients, a
 #                live snapshot swap mid-run, zero dropped or incorrect
 #                verdicts, p99 service latency and in-process lookup
@@ -48,7 +54,7 @@
 
 GO ?= go
 
-.PHONY: check lint lint-json race cover fuzz bench profile fabric-test perf soak
+.PHONY: check lint lint-json race cover fuzz bench profile fabric-test perf perf-diff soak
 
 check:
 	$(GO) build ./...
@@ -81,9 +87,10 @@ cover:
 	check ./internal/scanner 90; \
 	check ./internal/faults 94; \
 	check ./internal/lint 92; \
-	check ./internal/telemetry 94; \
+	check ./internal/telemetry 95; \
+	check ./internal/trace 89; \
 	check ./internal/runstore 89; \
-	check ./internal/fabric 75; \
+	check ./internal/fabric 79; \
 	check ./internal/verdict 85
 
 # `go test -fuzz` takes exactly one fuzz target per invocation, so each
@@ -108,7 +115,10 @@ fabric-test:
 	sh scripts/fabric_integration.sh
 
 perf:
-	$(GO) run ./cmd/geobench -out BENCH_7.json
+	$(GO) run ./cmd/geobench -out BENCH_9.json
+
+perf-diff:
+	$(GO) run ./scripts/benchdiff.go -base BENCH_7.json -new BENCH_9.json
 
 soak:
 	GEOBLOCK_SOAK=full $(GO) test ./cmd/worldd -run TestVerdictSoak -v -count=1

@@ -6,7 +6,11 @@
 // repo root by convention) so future changes compare against a
 // recorded baseline instead of anecdotes.
 //
-//	geobench -out BENCH_7.json
+//	geobench -out BENCH_9.json
+//
+// Schema geobench/3 adds allocs_per_sample to every study and
+// per-worker lease_wait_seconds to the fabric cells; scripts/benchdiff
+// gates changes against the previous baseline.
 //
 // All timing flows through telemetry.Wall, the engine's one sanctioned
 // wall-clock seam; the workloads themselves stay deterministic, only
@@ -23,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"geoblock"
@@ -49,12 +54,18 @@ type report struct {
 // study is one timed Top-10K run. Samples counts the initial-snapshot
 // scan — the study's dominant phase and the same workload in every
 // cell, so samples/sec compares fairly across single-process and
-// worker counts.
+// worker counts. Since geobench/3 each study also reports heap
+// allocations per sample (driver-process Mallocs over the whole run),
+// and fabric studies report how long each worker spent parked in
+// lease-wait backoff — the queueing cost the batch-lease protocol
+// exists to keep down.
 type study struct {
-	Workers       int     `json:"workers,omitempty"`
-	Seconds       float64 `json:"seconds"`
-	Samples       int     `json:"samples"`
-	SamplesPerSec float64 `json:"samples_per_sec"`
+	Workers          int       `json:"workers,omitempty"`
+	Seconds          float64   `json:"seconds"`
+	Samples          int       `json:"samples"`
+	SamplesPerSec    float64   `json:"samples_per_sec"`
+	AllocsPerSample  float64   `json:"allocs_per_sample"`
+	LeaseWaitSeconds []float64 `json:"lease_wait_seconds,omitempty"`
 }
 
 type resumeStats struct {
@@ -82,12 +93,12 @@ type verdictStats struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	out := flag.String("out", "BENCH_9.json", "output JSON path")
 	scale := flag.Float64("scale", 0.02, "population scale for the benchmark study")
 	seed := flag.Uint64("seed", 11, "world seed")
 	flag.Parse()
 
-	rep := report{Schema: "geobench/2", Scale: *scale, Seed: *seed}
+	rep := report{Schema: "geobench/3", Scale: *scale, Seed: *seed}
 
 	log.Printf("geobench: single-process study (scale %g)", *scale)
 	single, snap := runSingle(*scale, *seed)
@@ -135,9 +146,27 @@ func world(scale float64, seed uint64) geoblock.WorldConfig {
 func runSingle(scale float64, seed uint64) (study, *geoblock.VerdictSnapshot) {
 	wcfg := world(scale, seed)
 	s := geoblock.New(geoblock.Options{World: &wcfg, Metrics: telemetry.New()})
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
 	start := wall()
 	r := s.RunTop10K(geoblock.Top10KConfig{})
-	return timed(0, start, len(r.Initial.Samples)), s.Verdicts()
+	st := timed(0, start, len(r.Initial.Samples))
+	st.AllocsPerSample = allocsSince(&before, st.Samples)
+	return st, s.Verdicts()
+}
+
+// allocsSince reads the heap's Mallocs delta since before and spreads
+// it over the study's samples. It is a whole-process figure — scan
+// work plus journaling plus scheduling — which is exactly what the
+// perf trajectory wants to watch for regressions.
+func allocsSince(before *runtime.MemStats, samples int) float64 {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if samples == 0 {
+		return 0
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(samples)
 }
 
 func runFabric(scale float64, seed uint64, nWorkers int) study {
@@ -151,6 +180,14 @@ func runFabric(scale float64, seed uint64, nWorkers int) study {
 
 	ctx := context.Background()
 	var wg sync.WaitGroup
+	// Each worker's Sleep hook tallies the backoff it was asked to take
+	// while no lease was available — the protocol's queueing cost. The
+	// hook never actually sleeps (Gosched keeps the bench hot), so the
+	// figure is requested wait, not wall time lost.
+	waitNS := make([]int64, nWorkers)
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
 	start := wall()
 	for i := 0; i < nWorkers; i++ {
 		wg.Add(1)
@@ -159,7 +196,10 @@ func runFabric(scale float64, seed uint64, nWorkers int) study {
 			w, err := geoblock.NewFabricWorker(ctx, geoblock.FabricWorkerOptions{
 				Coordinator: srv.URL,
 				Name:        fmt.Sprintf("bench-%d", i),
-				Sleep:       func(time.Duration) { runtime.Gosched() },
+				Sleep: func(d time.Duration) {
+					atomic.AddInt64(&waitNS[i], int64(d))
+					runtime.Gosched()
+				},
 			})
 			if err != nil {
 				log.Fatalf("geobench: worker %d: %v", i, err)
@@ -176,7 +216,13 @@ func runFabric(scale float64, seed uint64, nWorkers int) study {
 	}
 	coord.FinishStudy()
 	wg.Wait()
-	return timed(nWorkers, start, len(r.Initial.Samples))
+	st := timed(nWorkers, start, len(r.Initial.Samples))
+	st.AllocsPerSample = allocsSince(&before, st.Samples)
+	st.LeaseWaitSeconds = make([]float64, nWorkers)
+	for i, ns := range waitNS {
+		st.LeaseWaitSeconds[i] = time.Duration(ns).Seconds()
+	}
+	return st
 }
 
 func runResume(scale float64, seed uint64) resumeStats {

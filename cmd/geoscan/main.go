@@ -29,6 +29,7 @@ import (
 	"geoblock/internal/lumscan"
 	"geoblock/internal/papertables"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 	faultCountry := flag.String("faultcountry", "", "restrict the chaos profile to one country code (default: all)")
 	metricsAddr := flag.String("metrics", "", "serve /debug/metrics (and pprof) on this address while the study runs")
 	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this file (.json for JSON, else text)")
+	traceOut := flag.String("trace", "", "write the study's wide-event trace to this file (.json: Chrome trace-event JSON, loadable in Perfetto)")
 	storeDir := flag.String("store", "", "journal every scan phase to this directory (crash-safe; see -resume)")
 	resume := flag.Bool("resume", false, "resume an interrupted run from the -store journal instead of refusing it")
 	fabricAddr := flag.String("fabric", "", "serve a distributed-scan coordinator on this address; residential scan phases then run on scanworker processes instead of in-process")
@@ -71,7 +73,16 @@ func main() {
 		store = st
 	}
 
-	opts := geoblock.Options{Seed: *seed, Scale: *scale, Ctx: ctx, Metrics: reg, Store: store}
+	// -trace arms the tracer for the whole study: every phase's scan
+	// records into it, and the merged timeline lands in one file at the
+	// end. Flight dumps go to stderr on an Outage or a panic.
+	var tracer *geoblock.Tracer
+	if *traceOut != "" {
+		tracer = geoblock.NewTracer(*seed).WithWall(telemetry.Wall{}).WithFlightSink(os.Stderr)
+		defer trace.CrashDump(tracer, os.Stderr)
+	}
+
+	opts := geoblock.Options{Seed: *seed, Scale: *scale, Ctx: ctx, Metrics: reg, Store: store, Trace: tracer}
 	if *verbose {
 		opts.Log = func(format string, args ...any) {
 			log.Printf(format, args...)
@@ -94,7 +105,7 @@ func main() {
 				Country: strings.ToUpper(*faultCountry),
 			}
 		}
-		coord = geoblock.NewFabric(geoblock.FabricOptions{Study: spec, Metrics: reg})
+		coord = geoblock.NewFabric(geoblock.FabricOptions{Study: spec, Metrics: reg, Trace: tracer})
 		ln, lerr := stdnet.Listen("tcp", *fabricAddr)
 		if lerr != nil {
 			fmt.Fprintf(os.Stderr, "geoscan: fabric listener: %v\n", lerr)
@@ -235,6 +246,14 @@ func main() {
 	if *metricsOut != "" {
 		if err := reg.Snapshot().WriteFile(*metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "geoscan: metrics-out: %v\n", err)
+		}
+	}
+	if *traceOut != "" {
+		snap := tracer.Snapshot()
+		if werr := snap.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "geoscan: trace: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "geoscan: %d trace events written to %s (open in ui.perfetto.dev)\n", len(snap.Events), *traceOut)
 		}
 	}
 	// A study that lost a phase (cancellation, journal severance, a

@@ -31,6 +31,7 @@ import (
 	"geoblock/internal/runstore"
 	"geoblock/internal/stats"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	faultCountry := flag.String("faultcountry", "", "restrict the chaos profile to one country code (default: all)")
 	metricsAddr := flag.String("metrics", "", "serve /debug/metrics (and pprof) on this address while the scan runs")
 	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this file (.json for JSON, else text)")
+	traceOut := flag.String("trace", "", "write the run's wide-event trace to this file (.json: Chrome trace-event JSON, loadable in Perfetto)")
 	storeDir := flag.String("store", "", "journal the scan to this directory (crash-safe; see -resume)")
 	resume := flag.Bool("resume", false, "resume an interrupted scan from the -store journal instead of refusing it")
 	serveFabric := flag.String("serve-fabric", "", "serve a distributed-scan coordinator on this address; the scan executes on scanworker processes instead of in-process")
@@ -68,6 +70,15 @@ func main() {
 	// An interactive scan runs on the wall clock so span durations and
 	// the fetch-latency histogram mean something.
 	reg := telemetry.NewWithClock(telemetry.Wall{})
+
+	// -trace arms the tracer for the whole run: wall stamps for the
+	// Perfetto timeline, flight dumps to stderr on an Outage, and a
+	// crash-path dump if the process panics.
+	var tracer *geoblock.Tracer
+	if *traceOut != "" {
+		tracer = geoblock.NewTracer(wcfg.Seed).WithWall(telemetry.Wall{}).WithFlightSink(os.Stderr)
+		defer trace.CrashDump(tracer, os.Stderr)
+	}
 	if *metricsAddr != "" {
 		srv := telemetry.MetricsServer(*metricsAddr, reg)
 		go func() {
@@ -106,7 +117,7 @@ func main() {
 			profile := geoblock.FabricFaultSpec{Seed: *faultSeed, Profile: *faultsFlag, Country: strings.ToUpper(*faultCountry)}
 			spec.Faults = &profile
 		}
-		coord = geoblock.NewFabric(geoblock.FabricOptions{Study: spec, Metrics: reg})
+		coord = geoblock.NewFabric(geoblock.FabricOptions{Study: spec, Metrics: reg, Trace: tracer})
 		coord.BindWorld(sys.World)
 		ln, lerr := stdnet.Listen("tcp", *serveFabric)
 		if lerr != nil {
@@ -160,6 +171,10 @@ func main() {
 	cfg.Samples = *samples
 	cfg.Phase = "cli"
 	cfg.Metrics = reg
+	if tracer != nil {
+		cfg.Trace = tracer
+		cfg.TraceWall = tracer.WallClock()
+	}
 	if *zgrab {
 		cfg.Headers = lumscan.ZGrabHeaders()
 	}
@@ -245,6 +260,14 @@ func main() {
 	if *metricsOut != "" {
 		if werr := reg.Snapshot().WriteFile(*metricsOut); werr != nil {
 			fmt.Fprintf(os.Stderr, "lumscan: metrics-out: %v\n", werr)
+		}
+	}
+	if *traceOut != "" {
+		snap := tracer.Snapshot()
+		if werr := snap.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "lumscan: trace: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "lumscan: %d trace events written to %s (open in ui.perfetto.dev)\n", len(snap.Events), *traceOut)
 		}
 	}
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"geoblock"
 	"geoblock/internal/faults"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	killAfter := flag.Int64("kill-after", 0, "chaos: die (exit 3) after executing roughly this many units, before reporting the last one; 0 disables")
 	killSeed := flag.Uint64("kill-seed", 1, "chaos: seed for the -kill-after death draw")
 	verbose := flag.Bool("v", false, "log leases and phase changes")
+	traceOut := flag.String("trace", "", "write this worker's local wide-event trace to this file (.json: Chrome trace-event JSON); unit events ship to the coordinator regardless")
 	flag.Parse()
 
 	if *name == "" {
@@ -40,10 +42,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// The worker always carries a local tracer: when chaos (or a panic)
+	// kills it, the flight recorder dumps the last events to stderr —
+	// the post-mortem for a process that never reports home. The
+	// deterministic unit events still ship to the coordinator through
+	// the completion payload; this tracer is the worker's own black box.
+	tracer := geoblock.NewTracer(0).WithWall(telemetry.Wall{}).WithFlightSink(os.Stderr)
+	defer trace.CrashDump(tracer, os.Stderr)
+
 	opts := geoblock.FabricWorkerOptions{
 		Coordinator: *coordinator,
 		Name:        *name,
 		Sleep:       time.Sleep, //geolint:allow determinism worker poll backoff waits on the real wall clock
+		Trace:       tracer,
 	}
 	if *verbose {
 		opts.Log = func(format string, args ...any) { log.Printf(format, args...) }
@@ -72,7 +83,18 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "scanworker: %s leasing from %s\n", *name, *coordinator)
 
-	switch err := w.Run(ctx); {
+	runErr := w.Run(ctx)
+	// Written before the exit-code switch: os.Exit skips defers, and
+	// the killed-worker trace is exactly the one worth keeping.
+	if *traceOut != "" {
+		snap := tracer.Snapshot()
+		if werr := snap.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "scanworker: trace: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "scanworker: %d trace events written to %s\n", len(snap.Events), *traceOut)
+		}
+	}
+	switch err := runErr; {
 	case err == nil:
 		fmt.Fprintf(os.Stderr, "scanworker: %s: study done\n", *name)
 	case errors.Is(err, geoblock.ErrFabricWorkerKilled):

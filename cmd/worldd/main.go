@@ -29,6 +29,7 @@ import (
 	"geoblock"
 	"geoblock/internal/blockpage"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 	"geoblock/internal/verdict"
 	"geoblock/internal/vnet"
 	"geoblock/internal/worldgen"
@@ -47,6 +48,13 @@ func main() {
 	// The daemon is a real server, so its telemetry runs on the wall
 	// clock; /debug/metrics serves the live registry.
 	reg := telemetry.NewWithClock(telemetry.Wall{})
+
+	// The daemon traces for its whole lifetime: background studies
+	// record into it, the verdict edge leaves slow-lookup exemplars, and
+	// /debug/trace serves the accumulated timeline as Chrome trace JSON.
+	// A panic dumps the flight recorder before the stack unwinds.
+	tracer := geoblock.NewTracer(*seed).WithWall(telemetry.Wall{}).WithFlightSink(os.Stderr)
+	defer trace.CrashDump(tracer, os.Stderr)
 
 	// The listener comes up immediately; the world (seconds of
 	// generation at paper scale) loads in the background. /healthz is
@@ -67,7 +75,8 @@ func main() {
 		log.Printf("worldd: verdict snapshot v%d loaded: %d blocked pairs over %d domains × %d countries",
 			snap.Version(), snap.Blocked(), len(snap.Domains()), len(snap.Countries()))
 	}
-	mux := newMux(&holder, reg, edge)
+	edge.Trace(tracer)
+	mux := newMux(&holder, reg, edge, tracer)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -76,7 +85,7 @@ func main() {
 	}
 	go func() {
 		sys := geoblock.New(geoblock.Options{
-			Seed: *seed, Scale: *scale, Metrics: reg,
+			Seed: *seed, Scale: *scale, Metrics: reg, Trace: tracer,
 			// Each completed study swaps its matrix into the live edge.
 			VerdictOut: edge.Swap,
 		})
@@ -118,8 +127,9 @@ func main() {
 // newMux builds the daemon's routing table over a System holder that
 // fills asynchronously: world-backed endpoints answer 503 until the
 // world lands. Factored out of main so tests can drive it through
-// httptest without a listener.
-func newMux(holder *atomic.Pointer[geoblock.System], reg *telemetry.Registry, edge *verdictEdge) *http.ServeMux {
+// httptest without a listener. tr may be nil; /debug/trace then serves
+// an empty timeline.
+func newMux(holder *atomic.Pointer[geoblock.System], reg *telemetry.Registry, edge *verdictEdge, tr *trace.Tracer) *http.ServeMux {
 	// ready gates a world-backed handler: 503 before the world exists.
 	ready := func(h func(sys *geoblock.System, w http.ResponseWriter, r *http.Request)) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -208,6 +218,16 @@ func newMux(holder *atomic.Pointer[geoblock.System], reg *telemetry.Registry, ed
 	edge.register(mux)
 
 	telemetry.AttachDebug(mux, reg)
+
+	// The live timeline: everything the daemon's tracer has collected —
+	// study phases, scan units, slow-lookup exemplars — as Chrome
+	// trace-event JSON, loadable directly in Perfetto (ui.perfetto.dev).
+	mux.Handle("/debug/trace", getOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.Snapshot().WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})))
 	return mux
 }
 

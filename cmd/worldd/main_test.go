@@ -18,7 +18,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	sys := geoblock.New(geoblock.Options{Scale: 0.02, Metrics: reg})
 	var holder atomic.Pointer[geoblock.System]
 	holder.Store(sys)
-	srv := httptest.NewServer(countRequests(reg, newMux(&holder, reg, newVerdictEdge(reg, nil))))
+	srv := httptest.NewServer(countRequests(reg, newMux(&holder, reg, newVerdictEdge(reg, nil), nil)))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -29,7 +29,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 func TestReadiness(t *testing.T) {
 	reg := telemetry.New()
 	var holder atomic.Pointer[geoblock.System]
-	srv := httptest.NewServer(countRequests(reg, newMux(&holder, reg, newVerdictEdge(reg, nil))))
+	srv := httptest.NewServer(countRequests(reg, newMux(&holder, reg, newVerdictEdge(reg, nil), nil)))
 	defer srv.Close()
 
 	status := func(path string) int {

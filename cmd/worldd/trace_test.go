@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"geoblock"
+	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
+	"geoblock/internal/verdict"
+)
+
+// TestDebugTraceServesChromeJSON: /debug/trace answers valid Chrome
+// trace-event JSON from the daemon's tracer — including with a nil
+// tracer, where the timeline is just the process metadata record.
+func TestDebugTraceServesChromeJSON(t *testing.T) {
+	reg := telemetry.NewWithClock(telemetry.Wall{})
+	tr := trace.New(trace.Root(403)).WithWall(telemetry.Wall{})
+	ev := trace.NewEvent(tr.Root().Child("scan/test", 0), "scan")
+	ev.Phase = "test"
+	ev.Outcome = "ok"
+	tr.Record(ev)
+
+	var holder atomic.Pointer[geoblock.System]
+	srv := httptest.NewServer(newMux(&holder, reg, newVerdictEdge(reg, nil), tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 { // process_name metadata + the scan event
+		t.Fatalf("%d traceEvents, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[1]["name"] != "scan" {
+		t.Fatalf("event name = %v", doc.TraceEvents[1]["name"])
+	}
+
+	// Nil tracer: still valid Chrome JSON, just empty.
+	srv2 := httptest.NewServer(newMux(&holder, reg, newVerdictEdge(reg, nil), nil))
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(b), "traceEvents") {
+		t.Fatalf("nil-tracer response is not a Chrome trace: %s", b)
+	}
+}
+
+// TestSlowLookupExemplar: a request served slower than the edge's slow
+// threshold leaves a runtime exemplar event carrying its trace ID next
+// to the latency histogram observation.
+func TestSlowLookupExemplar(t *testing.T) {
+	reg := telemetry.NewWithClock(telemetry.Wall{})
+	tr := trace.New(trace.Root(403)).WithWall(telemetry.Wall{})
+	edge := newVerdictEdge(reg, nil)
+	edge.Trace(tr)
+	edge.slowNS = 0 // every request is "slow": the threshold is the knob under test
+	edge.Swap(edgeSnapshot(t, 1))
+
+	var holder atomic.Pointer[geoblock.System]
+	srv := httptest.NewServer(newMux(&holder, reg, edge, tr))
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/v1/verdict?domain=blocked.example&cc=CN")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	snap := tr.Snapshot()
+	var exemplars []trace.Event
+	for _, ev := range snap.Events {
+		if ev.Name == "verdict.lookup.slow" {
+			exemplars = append(exemplars, ev)
+		}
+	}
+	if len(exemplars) != 2 {
+		t.Fatalf("%d slow-lookup exemplars, want 2", len(exemplars))
+	}
+	if exemplars[0].Span == exemplars[1].Span {
+		t.Fatal("exemplars share a span ID; each request must be distinguishable")
+	}
+	for _, ev := range exemplars {
+		if !ev.Runtime {
+			t.Fatal("exemplar must be runtime-class: lookup traffic is schedule-dependent")
+		}
+		if ev.Trace != tr.Root().Trace {
+			t.Fatalf("exemplar trace ID %s not under the daemon trace %s", ev.Trace, tr.Root().Trace)
+		}
+		if ev.WallDurNS <= 0 {
+			t.Fatal("exemplar carries no duration")
+		}
+	}
+	// The histogram got the same observations the exemplars annotate,
+	// and the slow counter matches.
+	ms := reg.Snapshot()
+	foundHist := false
+	for _, h := range ms.Histograms {
+		if h.Name == verdict.HistLookupNanos && h.Total == 2 {
+			foundHist = true
+		}
+	}
+	if !foundHist {
+		t.Fatalf("latency histogram missing or wrong total: %+v", ms.Histograms)
+	}
+	foundCount := false
+	for _, c := range ms.Counters {
+		if c.Name == verdict.MetSlowLookups && c.Value == 2 {
+			foundCount = true
+		}
+	}
+	if !foundCount {
+		t.Fatalf("%s counter missing or wrong: %+v", verdict.MetSlowLookups, ms.Counters)
+	}
+
+	// The deterministic view strips exemplars: serving traffic is not
+	// part of the study's determinism contract.
+	if det := snap.Deterministic(); len(det.Events) != 0 {
+		t.Fatalf("deterministic view kept %d serving events", len(det.Events))
+	}
+}
+
+// TestWorlddMetricsPrometheus: the daemon's /debug/metrics negotiates
+// into the Prometheus exposition format end to end.
+func TestWorlddMetricsPrometheus(t *testing.T) {
+	reg := telemetry.NewWithClock(telemetry.Wall{})
+	reg.Counter("worldd.test").Add(3)
+	var holder atomic.Pointer[geoblock.System]
+	srv := httptest.NewServer(newMux(&holder, reg, newVerdictEdge(reg, nil), nil))
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL+"/debug/metrics", nil)
+	req.Header.Set("Accept", "text/plain; version=0.0.4; charset=utf-8")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, telemetry.PrometheusContentType)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "# TYPE worldd_test counter") || !strings.Contains(string(b), "worldd_test 3") {
+		t.Fatalf("exposition body wrong:\n%s", b)
+	}
+}

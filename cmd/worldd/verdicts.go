@@ -11,9 +11,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"geoblock/internal/geo"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 	"geoblock/internal/verdict"
 )
 
@@ -30,10 +32,25 @@ type verdictEdge struct {
 	reg     *telemetry.Registry
 	limiter *verdict.Limiter // nil: no shedding
 	holder  verdict.Holder
+
+	// tracer, when set via Trace, receives slow-lookup exemplar events:
+	// one runtime-class wide event per request served slower than
+	// slowNS, carrying the trace ID the histogram bucket can't.
+	tracer   *trace.Tracer
+	traceCtx trace.SpanCtx
+	slowNS   float64
+	slowSeq  atomic.Int64
 }
 
 func newVerdictEdge(reg *telemetry.Registry, limiter *verdict.Limiter) *verdictEdge {
-	return &verdictEdge{reg: reg, limiter: limiter}
+	return &verdictEdge{reg: reg, limiter: limiter, slowNS: verdict.SlowLookupNanos}
+}
+
+// Trace attaches a tracer; requests served slower than SlowLookupNanos
+// then record exemplar events under the verdict/edge span.
+func (e *verdictEdge) Trace(tr *trace.Tracer) {
+	e.tracer = tr
+	e.traceCtx = tr.Root().Child("verdict/edge", 0)
 }
 
 // Swap atomically publishes a new snapshot; readers in flight keep the
@@ -69,9 +86,27 @@ func (e *verdictEdge) admit(w http.ResponseWriter) *verdict.Snapshot {
 }
 
 // observeLatency records one request's service time in the lookup
-// histogram (nanoseconds, 10µs bins to 1ms).
-func (e *verdictEdge) observeLatency(ns float64) {
+// histogram (nanoseconds, 10µs bins to 1ms). Requests past the slow
+// threshold also leave an exemplar in the trace: the histogram says
+// the tail exists, the exemplar's trace ID says which request it was.
+func (e *verdictEdge) observeLatency(endpoint string, ns float64) {
 	e.reg.RuntimeHistogram(verdict.HistLookupNanos, 0, 1e6, 100).Observe(ns)
+	if e.tracer == nil || ns < e.slowNS {
+		return
+	}
+	e.reg.RuntimeCounter(verdict.MetSlowLookups).Add(1)
+	seq := int(e.slowSeq.Add(1)) - 1
+	ev := trace.NewEvent(e.traceCtx.Child("lookup", seq), "verdict.lookup.slow")
+	ev.Parent = e.traceCtx.Span
+	ev.Runtime = true
+	ev.Outcome = "slow"
+	_, ev.WallNS = e.tracer.Now()
+	ev.WallDurNS = int64(ns)
+	ev.Attrs = []trace.Attr{
+		{K: "endpoint", V: endpoint},
+		{K: "ns", V: strconv.FormatFloat(ns, 'f', -1, 64)},
+	}
+	e.tracer.Record(ev)
 }
 
 // countLookup tallies one answered lookup by result class.
@@ -134,7 +169,7 @@ func (e *verdictEdge) handleVerdict(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(body)
-	e.observeLatency(float64(e.reg.Now().Sub(start).Nanoseconds()))
+	e.observeLatency("verdict", float64(e.reg.Now().Sub(start).Nanoseconds()))
 }
 
 // bulkRequest is the POST /v1/verdicts body.
@@ -205,7 +240,7 @@ func (e *verdictEdge) handleBulk(w http.ResponseWriter, r *http.Request) {
 		ETag    string       `json:"etag"`
 		Results []bulkResult `json:"results"`
 	}{snap.Version(), snap.ETag(), results})
-	e.observeLatency(float64(e.reg.Now().Sub(start).Nanoseconds()))
+	e.observeLatency("bulk", float64(e.reg.Now().Sub(start).Nanoseconds()))
 }
 
 // handleSnapshot is POST /v1/snapshot: load an encoded snapshot and

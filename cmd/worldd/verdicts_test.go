@@ -52,7 +52,7 @@ func newEdgeServer(t testing.TB, limiter *verdict.Limiter) (*httptest.Server, *v
 	reg := telemetry.NewWithClock(telemetry.Wall{})
 	edge := newVerdictEdge(reg, limiter)
 	var holder atomic.Pointer[geoblock.System]
-	srv := httptest.NewServer(countRequests(reg, newMux(&holder, reg, edge)))
+	srv := httptest.NewServer(countRequests(reg, newMux(&holder, reg, edge, nil)))
 	t.Cleanup(srv.Close)
 	return srv, edge, reg
 }

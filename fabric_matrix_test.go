@@ -39,7 +39,7 @@ func fabricYield(time.Duration) { runtime.Gosched() }
 // first unit — exercising lease expiry and re-issue inside a real
 // study). Returns the same (result, tables, snapshot) triple as
 // resumeRun for byte comparison.
-func fabricRun(t *testing.T, store *RunStore, reg *telemetry.Registry, nWorkers int, kill bool) (*Top10KResult, string, string) {
+func fabricRun(t *testing.T, store *RunStore, reg *telemetry.Registry, tr *Tracer, nWorkers int, kill bool) (*Top10KResult, string, string) {
 	t.Helper()
 	wcfg := matrixWorld()
 	coord := NewFabric(FabricOptions{
@@ -91,7 +91,7 @@ func fabricRun(t *testing.T, store *RunStore, reg *telemetry.Registry, nWorkers 
 		}(i)
 	}
 
-	s := New(Options{World: &wcfg, Metrics: reg, Store: store, Fabric: coord})
+	s := New(Options{World: &wcfg, Metrics: reg, Store: store, Fabric: coord, Trace: tr})
 	r := s.RunTop10K(Top10KConfig{})
 	if err := s.Err(); err != nil {
 		t.Fatalf("fabric study aborted: %v", err)
@@ -192,7 +192,7 @@ func TestFabricMatrix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		result, tables, snap := fabricRun(t, store, telemetry.New(), tc.workers, tc.kill)
+		result, tables, snap := fabricRun(t, store, telemetry.New(), nil, tc.workers, tc.kill)
 		store.Close()
 		if len(result.Findings) != len(refResult.Findings) {
 			t.Fatalf("workers=%d kill=%v: %d findings, reference %d", tc.workers, tc.kill, len(result.Findings), len(refResult.Findings))

@@ -32,6 +32,7 @@ import (
 	"geoblock/internal/proxy"
 	"geoblock/internal/runstore"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 	"geoblock/internal/verdict"
 	"geoblock/internal/worldgen"
 )
@@ -101,7 +102,23 @@ type (
 	// VerdictSource is the raw input to CompileVerdicts for callers that
 	// assemble matrices outside a study.
 	VerdictSource = verdict.Source
+	// Tracer collects a run's wide events (see internal/trace); build
+	// one with NewTracer and attach it via Options.Trace.
+	Tracer = trace.Tracer
+	// TraceSpanCtx is a propagated trace context (trace ID + span ID).
+	TraceSpanCtx = trace.SpanCtx
 )
+
+// NewTracer builds a tracer rooted at the deterministic context the
+// given world seed derives. Chain the tracer's With* methods to add a
+// wall clock (for Perfetto-meaningful timestamps) or a flight-recorder
+// sink before passing it to Options.Trace.
+func NewTracer(seed uint64) *Tracer {
+	if seed == 0 {
+		seed = worldgen.DefaultConfig().Seed
+	}
+	return trace.New(trace.Root(seed))
+}
 
 // ErrFabricWorkerKilled is returned by a FabricWorker's Run when its
 // chaos kill hook fires mid-study.
@@ -154,6 +171,13 @@ type Options struct {
 	// live /debug/metrics view inject telemetry.NewWithClock(telemetry.Wall{})
 	// here; leaving it nil keeps snapshots deterministic.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, turns on wide-event tracing: every scan
+	// phase, scheduler shard, session open, fetch, and verdict-edge
+	// slow lookup records into it, and Tracer.Snapshot() exports the
+	// run as Chrome trace-event JSON (the CLIs' -trace flag). Tracing
+	// never influences results; deterministic-class events are
+	// byte-identical at any concurrency or worker count.
+	Trace *Tracer
 	// Store, when non-nil, journals every scan phase to disk and
 	// resumes interrupted studies from their checkpoints (see
 	// OpenRunStore). Results are byte-identical with or without it.
@@ -205,6 +229,7 @@ func New(opts Options) *System {
 	if opts.Metrics != nil {
 		s.Metrics = opts.Metrics
 	}
+	s.Trace = opts.Trace
 	s.Store = opts.Store
 	if opts.Fabric != nil {
 		opts.Fabric.BindWorld(w)
@@ -255,6 +280,12 @@ func (s *System) Err() error { return s.study.Err() }
 // tallies, and the phase-span tree accumulate here as studies run.
 func (s *System) Metrics() *telemetry.Registry {
 	return s.study.Metrics
+}
+
+// Trace exposes the system's tracer — nil unless Options.Trace was
+// set. Snapshot it after a study for the full event stream.
+func (s *System) Trace() *Tracer {
+	return s.study.Trace
 }
 
 // Net exposes the system's residential proxy mesh — the seam for

@@ -40,6 +40,7 @@ import (
 	"geoblock/internal/runstore"
 	"geoblock/internal/scanner"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 	"geoblock/internal/worldgen"
 )
 
@@ -78,6 +79,10 @@ type Options struct {
 	// Metrics, when non-nil, receives the fabric's runtime-class lease
 	// counters.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives the fabric's runtime-class lease
+	// events and becomes the default tracer for phases whose config
+	// carries none — the merged timeline a 3-process run exports.
+	Trace *trace.Tracer
 	// Log, when non-nil, receives fabric progress lines.
 	Log func(format string, args ...any)
 }
@@ -102,6 +107,30 @@ type phaseRun struct {
 	remaining int
 	done      chan struct{}
 	err       error
+	// tr/traceCtx/phaseName key the runtime-class lease events the
+	// coordinator records for this phase's traffic.
+	tr        *trace.Tracer
+	traceCtx  trace.SpanCtx
+	phaseName string
+}
+
+// leaseEvent records one runtime-class protocol event for the phase —
+// lease grants, re-issues, completions arriving. Runtime by
+// definition: which worker leases which unit when depends entirely on
+// scheduling, so these never enter the deterministic view.
+func (ph *phaseRun) leaseEvent(name string, seq int, worker, outcome string, wallNS int64) {
+	if ph.tr == nil || !ph.traceCtx.Valid() {
+		return
+	}
+	ev := trace.NewEvent(ph.traceCtx.Child(name, seq), name)
+	ev.Parent = ph.traceCtx.Span
+	ev.Unit = seq
+	ev.Phase = ph.phaseName
+	ev.Outcome = outcome
+	ev.Runtime = true
+	ev.WallNS = wallNS
+	ev.Attrs = []trace.Attr{{K: "worker", V: worker}}
+	ph.tr.Record(ev)
 }
 
 // Coordinator owns a study's distribution: it serves the study and
@@ -159,6 +188,13 @@ func (c *Coordinator) RunPhase(ctx context.Context, domains []string, countries 
 	if err != nil {
 		return err
 	}
+	if cfg.Trace == nil && c.opts.Trace != nil {
+		// The coordinator's tracer backs phases that arrived untraced, so
+		// `lumscan -serve-fabric -trace` captures the whole study without
+		// the caller threading a tracer through every phase config.
+		cfg.Trace = c.opts.Trace
+		cfg.TraceWall = c.opts.Trace.WallClock()
+	}
 	plan := scanner.NewPlan(domains, countries, tasks, cfg)
 	asm, err := scanner.NewAssembly(plan, sink)
 	if err != nil {
@@ -193,6 +229,9 @@ func (c *Coordinator) RunPhase(ctx context.Context, domains []string, countries 
 	for _, seq := range pending {
 		ph.units[seq] = &unitState{}
 	}
+	ph.tr = cfg.Trace
+	ph.traceCtx = scanner.ScanTraceCtx(cfg)
+	ph.phaseName = cfg.Phase
 	spec := PhaseSpec{
 		ID:          ph.id,
 		Phase:       cfg.Phase,
@@ -202,6 +241,7 @@ func (c *Coordinator) RunPhase(ctx context.Context, domains []string, countries 
 		Config:      wire,
 		Fingerprint: plan.Fingerprint(),
 		Units:       plan.NumUnits(),
+		Trace:       ph.traceCtx,
 	}
 	if c.world != nil {
 		spec.WorldClock = c.world.Clock()
@@ -349,20 +389,28 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	units := make([]UnitLease, 0, len(picks))
+	var wallNS int64
+	if ph.tr != nil {
+		_, wallNS = ph.tr.Now()
+	}
 	for i, seq := range picks {
 		u := ph.units[seq]
+		outcome := "granted"
 		if i >= expiredFrom {
 			c.count(MetReissues)
 			c.logf("fabric: phase %d unit %d lease expired (worker %s); re-issuing", ph.id, seq, u.worker)
+			outcome = "reissued"
 		}
 		c.nextLease++
 		u.leased, u.lease, u.worker = true, c.nextLease, req.Worker
 		u.deadline = now.Add(c.ttl)
 		c.count(MetLeases)
+		ph.leaseEvent("lease", seq, req.Worker, outcome, wallNS)
 		units = append(units, UnitLease{
 			Seq:         seq,
 			Lease:       u.lease,
 			Fingerprint: ph.plan.Unit(seq).Fingerprint,
+			Span:        scanner.UnitTraceCtx(ph.traceCtx, seq).Span,
 		})
 	}
 	writeJSON(w, LeaseGrant{
@@ -426,12 +474,15 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	res := scanner.UnitResult{Samples: samples, Lost: cp.Lost}
 	if len(cp.Metrics) > 0 {
-		var snap telemetry.Snapshot
-		if err := json.Unmarshal(cp.Metrics, &snap); err != nil {
+		// The wire payload is the staged snapshot plus the unit's trace
+		// events (see unitPayload) — transport only, never journaled.
+		var pl unitPayload
+		if err := json.Unmarshal(cp.Metrics, &pl); err != nil {
 			http.Error(w, "fabric: bad completion metrics: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		res.Metrics = &snap
+		res.Metrics = &pl.Snapshot
+		res.Trace = pl.Trace
 	}
 
 	c.mu.Lock()
@@ -450,10 +501,16 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("fabric: unit %d fingerprint %x does not match plan's %x — worker built a different world", seq, fp, want), http.StatusConflict)
 		return
 	}
+	var wallNS int64
+	if ph.tr != nil {
+		_, wallNS = ph.tr.Now()
+	}
+	worker := q.Get("worker")
 	if u.completed {
 		// Deterministic work: a re-issued unit's second completion is
 		// byte-identical to the first, so dropping it loses nothing.
 		c.count(MetDuplicates)
+		ph.leaseEvent("unit.complete", seq, worker, "duplicate", wallNS)
 		writeJSON(w, Ack{OK: true, Status: "duplicate"})
 		return
 	}
@@ -461,6 +518,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		// The lease expired and was re-issued, but this worker finished
 		// anyway. The result is just as valid — first completion wins.
 		c.count(MetStale)
+		ph.leaseEvent("unit.complete", seq, worker, "stale-lease", wallNS)
+	} else {
+		ph.leaseEvent("unit.complete", seq, worker, "ok", wallNS)
 	}
 	if err := ph.asm.Complete(seq, res); err != nil {
 		http.Error(w, "fabric: "+err.Error(), http.StatusConflict)

@@ -14,6 +14,8 @@ import (
 
 	"geoblock/internal/geo"
 	"geoblock/internal/scanner"
+	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 	"geoblock/internal/worldgen"
 )
 
@@ -120,6 +122,12 @@ type PhaseSpec struct {
 	// passes); workers set their regenerated world to this value before
 	// executing any of the phase's units.
 	WorldClock int64 `json:"world_clock"`
+	// Trace is the coordinator-issued scan-level trace context. Workers
+	// pin it as Config.TraceCtx, so the per-unit contexts they derive —
+	// and every ID on every shipped event — match what an in-process
+	// run would have stamped. Zero means the coordinator is not
+	// tracing.
+	Trace trace.SpanCtx `json:"trace"`
 }
 
 // Lease grant statuses.
@@ -159,6 +167,23 @@ type UnitLease struct {
 	// Fingerprint is the coordinator's fingerprint for the leased unit;
 	// the worker refuses the lease if its own plan disagrees.
 	Fingerprint uint64 `json:"fingerprint"`
+	// Span is the coordinator-derived span ID for the unit — redundant
+	// with the derivation the worker performs from PhaseSpec.Trace, and
+	// carried precisely so that redundancy is checkable: the worker
+	// errors if the two disagree, the same trust-but-verify posture as
+	// the fingerprints. Zero when the coordinator is not tracing.
+	Span trace.ID `json:"span,omitempty"`
+}
+
+// unitPayload is what rides Checkpoint.Metrics across the wire in a
+// completion: the unit's full staged metrics snapshot (embedded, so an
+// untraced payload's JSON is exactly the bare snapshot) plus its trace
+// events. Transport only — the coordinator journal re-derives its
+// deterministic checkpoint view from the rehydrated staging registry,
+// so these bytes never land in a segment file.
+type unitPayload struct {
+	telemetry.Snapshot
+	Trace []trace.Event `json:"trace,omitempty"`
 }
 
 // LeaseGrant is the coordinator's answer to a lease request.

@@ -20,6 +20,7 @@ import (
 	"geoblock/internal/runstore"
 	"geoblock/internal/scanner"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 	"geoblock/internal/worldgen"
 )
 
@@ -57,6 +58,11 @@ type WorkerOptions struct {
 	Kill func(executed int64) bool
 	// Metrics, when non-nil, receives worker-side runtime counters.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives the worker's own runtime-class
+	// events (unit executions, the chaos kill) and arms its flight
+	// recorder — the worker-local view of a run whose deterministic
+	// events ship upstream in completions regardless.
+	Trace *trace.Tracer
 	// Log, when non-nil, receives worker progress lines.
 	Log func(format string, args ...any)
 }
@@ -72,8 +78,9 @@ type Worker struct {
 
 	// Cached phase state: the fabric runs one phase at a time, so one
 	// slot suffices.
-	phaseID int
-	plan    *scanner.Plan
+	phaseID  int
+	plan     *scanner.Plan
+	traceCtx trace.SpanCtx // the phase's coordinator-issued scan context
 
 	executed int64
 }
@@ -125,6 +132,24 @@ func (w *Worker) sleep(d time.Duration) {
 	if w.opts.Sleep != nil {
 		w.opts.Sleep(d)
 	}
+}
+
+// unitEvent records one worker-local runtime event. The worker's
+// tracer is pure observability — deterministic unit events ship
+// upstream in completions; this local stream (and the flight ring it
+// feeds) is what a dying worker dumps.
+func (w *Worker) unitEvent(name string, seq int, outcome string) {
+	if w.opts.Trace == nil || !w.traceCtx.Valid() {
+		return
+	}
+	ev := trace.NewEvent(w.traceCtx.Child(name, seq), name)
+	ev.Parent = w.traceCtx.Span
+	ev.Unit = seq
+	ev.Outcome = outcome
+	ev.Runtime = true
+	_, ev.WallNS = w.opts.Trace.Now()
+	ev.Attrs = []trace.Attr{{K: "worker", V: w.opts.Name}}
+	w.opts.Trace.Record(ev)
 }
 
 // Run leases and executes units until the coordinator reports the
@@ -198,23 +223,43 @@ func (w *Worker) runUnit(ctx context.Context, phase int, lease UnitLease) error 
 	if unit.Fingerprint != lease.Fingerprint {
 		return fmt.Errorf("fabric: unit %d fingerprint mismatch (coordinator %x, worker %x) — the two processes built different worlds", lease.Seq, lease.Fingerprint, unit.Fingerprint)
 	}
+	if lease.Span != 0 && w.traceCtx.Valid() {
+		// Same trust-but-verify posture as the fingerprints: the span the
+		// coordinator derived for this unit must equal the one we derive.
+		if want := scanner.UnitTraceCtx(w.traceCtx, lease.Seq).Span; want != lease.Span {
+			return fmt.Errorf("fabric: unit %d trace span mismatch (coordinator %s, worker %s) — the two processes derive different trace IDs", lease.Seq, lease.Span, want)
+		}
+	}
 	res, err := w.plan.ExecuteUnit(ctx, w.net, lease.Seq)
 	if err != nil {
 		return err
 	}
 	w.executed++
 	w.opts.Metrics.RuntimeCounter(MetWorkerUnits).Add(1)
+	// Mirror the unit's events into the local flight ring, then stamp
+	// the execution itself.
+	w.opts.Trace.Append(res.Trace)
+	w.unitEvent("worker.exec", lease.Seq, "ok")
 	if w.opts.Kill != nil && w.opts.Kill(w.executed) {
 		// Die before reporting: the unit's lease expires and the
-		// coordinator re-issues it to a surviving worker.
+		// coordinator re-issues it to a surviving worker. The flight
+		// recorder fires on the way down — the worker-death dump the
+		// tentpole promises.
 		w.logf("fabric worker %s: chaos kill after unit %d", w.opts.Name, lease.Seq)
+		w.unitEvent("worker.kill", lease.Seq, "killed")
+		w.opts.Trace.Trigger("worker " + w.opts.Name + " killed by chaos hook")
 		return ErrKilled
 	}
 
-	// The full staged snapshot crosses the wire so the coordinator's
-	// live registry merge matches an in-process run; the journal keeps
-	// only its deterministic view.
-	mb, err := json.Marshal(res.Metrics)
+	// The full staged snapshot and the unit's trace events cross the
+	// wire so the coordinator's live registry merge and merged timeline
+	// match an in-process run; the journal keeps only its deterministic
+	// view.
+	pl := unitPayload{Trace: res.Trace}
+	if res.Metrics != nil {
+		pl.Snapshot = *res.Metrics
+	}
+	mb, err := json.Marshal(pl)
 	if err != nil {
 		return fmt.Errorf("fabric: encoding unit metrics: %w", err)
 	}
@@ -276,7 +321,16 @@ func (w *Worker) ensurePhase(ctx context.Context, id int) (bool, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&spec); err != nil {
 		return false, fmt.Errorf("fabric: decoding phase %d spec: %w", id, err)
 	}
-	plan := scanner.NewPlan(spec.Domains, spec.Countries, spec.Tasks, spec.Config.Config())
+	cfg := spec.Config.Config()
+	if spec.Trace.Valid() {
+		// Pin the coordinator-issued scan context so every unit context
+		// (and every event ID) derives identically here and there. The
+		// trace fields never enter the plan fingerprint — tracing is
+		// output-invariant, like Concurrency.
+		cfg.TraceCtx = spec.Trace
+		cfg.TraceWall = w.opts.Trace.WallClock()
+	}
+	plan := scanner.NewPlan(spec.Domains, spec.Countries, spec.Tasks, cfg)
 	if got := plan.Fingerprint(); got != spec.Fingerprint {
 		return false, fmt.Errorf("fabric: phase %d plan fingerprint mismatch (coordinator %x, worker %x) — the two processes built different plans", id, spec.Fingerprint, got)
 	}
@@ -287,7 +341,7 @@ func (w *Worker) ensurePhase(ctx context.Context, id int) (bool, error) {
 	// the pipeline advances it between phases, and national policies
 	// flap with it.
 	w.world.AdvanceClock(spec.WorldClock - w.world.Clock())
-	w.phaseID, w.plan = id, plan
+	w.phaseID, w.plan, w.traceCtx = id, plan, spec.Trace
 	w.logf("fabric worker %s: phase %d (%s): plan agreed, %d units", w.opts.Name, id, spec.Phase, spec.Units)
 	return true, nil
 }

@@ -25,6 +25,9 @@ func TestDeterminism(t *testing.T) {
 		// The verdict edge: limiter refills and snapshot versions must
 		// come from the injected clock and the world's policy clock.
 		"geoblock/internal/verdict/dfix",
+		// The trace layer: event stamps flow through the tracer's
+		// injected clocks, never a direct wall read.
+		"geoblock/internal/trace/dfix",
 		// Out of scope: the wall clock is legal off the scan path.
 		"geoblock/internal/cdnid/dfix")
 }
@@ -70,12 +73,18 @@ func TestTelemetrycheck(t *testing.T) {
 		// Both packages in one Check call: the T2 class conflict is a
 		// cross-package reconciliation in the Finish pass.
 		"geoblock/internal/fabric/tcfix2",
-		"geoblock/internal/pipeline/tcfix")
+		"geoblock/internal/pipeline/tcfix",
+		// Trace instrumentation: per-event metric names are dynamic
+		// names, the namespace audit's nightmare case.
+		"geoblock/internal/trace/tcfix")
 }
 
 func TestSwapcheck(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.Swapcheck,
 		// netwrap is out of scope but its netio facts feed swfix's S3.
 		"geoblock/internal/netwrap",
-		"geoblock/internal/fabric/swfix")
+		"geoblock/internal/fabric/swfix",
+		// The tracer's event store and flight ring are mutex-guarded
+		// shared state like any other snapshot.
+		"geoblock/internal/trace/swfix")
 }

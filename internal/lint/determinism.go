@@ -29,6 +29,7 @@ var determinismScope = scope(
 	"geoblock/internal/runstore/...",
 	"geoblock/internal/worldgen/...",
 	"geoblock/internal/telemetry/...",
+	"geoblock/internal/trace/...",
 	"geoblock/internal/fabric/...",
 	"geoblock/internal/verdict/...",
 )

@@ -54,6 +54,7 @@ var swapScope = scope(
 	"geoblock/internal/fabric/...",
 	"geoblock/internal/verdict/...",
 	"geoblock/internal/telemetry/...",
+	"geoblock/internal/trace/...",
 	"geoblock/internal/runstore/...",
 )
 

@@ -1,0 +1,33 @@
+// Fixture: the determinism analyzer inside the trace layer
+// (geoblock/internal/trace/...). Event timestamps flow through the
+// tracer's injected clocks — virtual time from telemetry.Clock, wall
+// time only via the WithWall seam — so the deterministic event stream
+// stays byte-identical at any concurrency. A direct wall-clock read
+// here would stamp schedule-dependent times into events that the
+// determinism contract promises are pure.
+package dfix
+
+import "time"
+
+// Stamping an event from the real clock is the violation: the stamp
+// must come from the tracer's injected clocks.
+func stampEvent() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// So is flushing a buffer on a real-time ticker instead of at the
+// canonical emission point.
+func flushLoop(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+	defer t.Stop()
+	<-stop
+}
+
+// An exact-line suppression survives the scope extension: the CLIs
+// wire the wall clock in at the edge on purpose.
+func wiredWall() func() time.Time {
+	return time.Now //geolint:allow determinism the CLI injects the wall clock at the edge
+}
+
+// Duration arithmetic never observes real time and stays legal.
+func halfWindow(d time.Duration) time.Duration { return d / 2 }

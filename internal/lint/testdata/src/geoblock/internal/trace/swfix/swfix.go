@@ -1,0 +1,53 @@
+// Fixture: the shared-state discipline rules inside the trace layer
+// (geoblock/internal/trace/...). The tracer is shared by every
+// goroutine that records an event: its event store and flight ring
+// sit below mu (S1), and its counters are touched only through its
+// own methods (S2) — the same layout the real Tracer follows.
+package swfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// recorder follows the layout convention: root is immutable after init
+// and sits above mu; events and dropped below mu are the guarded set.
+type recorder struct {
+	root uint64
+
+	mu      sync.Mutex
+	events  []string
+	dropped int64
+}
+
+// record holds the lock: clean.
+func (r *recorder) record(ev string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// lenLocked declares that its caller holds the lock: clean.
+func (r *recorder) lenLocked() int {
+	return len(r.events)
+}
+
+// rootID reads above the mutex line: clean.
+func (r *recorder) rootID() uint64 { return r.root }
+
+// peek touches the guarded set with no lock and no naming claim.
+func (r *recorder) peek() int {
+	return len(r.events) // want "field recorder.events is declared below its guarding mutex but peek neither locks one nor follows the .Locked caller-holds convention"
+}
+
+// seq owns an atomic span counter; only its methods may touch it.
+type seq struct {
+	n atomic.Int64
+}
+
+func (s *seq) next() int64 { return s.n.Add(1) }
+
+// steal reaches into the atomic from outside the owning type.
+func steal(s *seq) int64 {
+	return s.n.Add(1) // want "atomic field swfix.seq.n touched outside swfix.seq's own methods"
+}

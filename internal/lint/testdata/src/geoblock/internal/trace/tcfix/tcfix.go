@@ -1,0 +1,26 @@
+// Fixture: the metric-namespace rules inside the trace layer
+// (geoblock/internal/trace/...). Trace instrumentation that registers
+// its own metrics — dropped-event counters, flight-dump counters —
+// must keep the names static so the registry's class audit stays
+// decidable; deriving a counter name from an event name at runtime
+// makes the namespace unbounded.
+package tcfix
+
+import "geoblock/internal/telemetry"
+
+const metDropped = "tracefix.events.dropped"
+
+// registerStatics pins the negatives: literal and const names, and a
+// labeled variant with a dynamic value but static key.
+func registerStatics(reg *telemetry.Registry, phase string) {
+	reg.RuntimeCounter("tracefix.flight.dumps").Add(1)
+	reg.Counter(metDropped).Add(1)
+	reg.Counter(telemetry.Label(metDropped, "phase", phase)).Add(1)
+}
+
+// PerEventCounter derives the metric name from the event: the
+// violation — the namespace becomes a function of whatever events the
+// run happens to record.
+func PerEventCounter(reg *telemetry.Registry, eventName string) {
+	reg.Counter("tracefix." + eventName).Add(1) // want "metric name for Counter is not a string literal, package const, or telemetry.Label over one"
+}

@@ -22,6 +22,7 @@ import (
 	"geoblock/internal/runstore"
 	"geoblock/internal/stats"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 	"geoblock/internal/verdict"
 	"geoblock/internal/worldgen"
 )
@@ -44,6 +45,12 @@ type Study struct {
 	// snapshots); replace it with telemetry.NewWithClock(telemetry.Wall{})
 	// before running to time a real study. Never nil after New.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives wide events from every phase the
+	// study runs: each scan invocation gets its own span context
+	// (derived from the tracer's root and the journal key, so repeated
+	// phases stay distinct) and a closing "pipeline/scan" event. Nil
+	// means tracing off — zero overhead on the scan hot path.
+	Trace *trace.Tracer
 	// Store, when non-nil, journals every scan phase the study runs and
 	// resumes interrupted phases from their checkpoints: completed
 	// shards replay from disk instead of refetching. The journal must
@@ -97,13 +104,15 @@ func (s *Study) phase(name string) *telemetry.Span {
 	return s.Metrics.StartSpan("pipeline/" + name)
 }
 
-// scanConfig is DefaultConfig wired to the study's registry and the
-// enclosing phase span.
+// scanConfig is DefaultConfig wired to the study's registry, tracer,
+// and the enclosing phase span.
 func (s *Study) scanConfig(phase string, span *telemetry.Span) lumscan.Config {
 	cfg := lumscan.DefaultConfig()
 	cfg.Phase = phase
 	cfg.Metrics = s.Metrics
 	cfg.Span = span
+	cfg.Trace = s.Trace
+	cfg.TraceWall = s.Trace.WallClock()
 	return cfg
 }
 
@@ -383,43 +392,83 @@ func fnv(s string) uint64 {
 	return h
 }
 
+// traceScan pins the invocation's scan context onto cfg — the root →
+// pipeline-phase → scan-phase derivation that keys every event the
+// scan records, unique per invocation because key is — and returns the
+// closer that records the phase's "pipeline/scan" event. A no-op
+// closure when the study is not tracing.
+func (s *Study) traceScan(key string, cfg *lumscan.Config) func(error) {
+	if s.Trace == nil {
+		return func(error) {}
+	}
+	pctx := s.Trace.Root().Child("pipeline/"+key, 0)
+	cfg.TraceCtx = pctx.Child("scan/"+cfg.Phase, 0)
+	virt0, wall0 := s.Trace.Now()
+	return func(err error) {
+		virt, wall := s.Trace.Now()
+		ev := trace.NewEvent(pctx, "pipeline/scan")
+		ev.Parent = s.Trace.Root().Span
+		ev.Phase = key
+		if err == nil {
+			ev.Outcome = "ok"
+		} else {
+			ev.Outcome = "aborted"
+		}
+		ev.VirtNS = virt0
+		ev.VirtDurNS = virt - virt0
+		ev.WallNS = wall0
+		ev.WallDurNS = wall - wall0
+		s.Trace.Record(ev)
+	}
+}
+
 // scanStream is the study's one residential-scan entry point: it runs
 // the phase directly when no journal is attached, and through
 // Store.Scan — journaling live work, replaying committed work —
 // otherwise. name keys the journal; it is usually cfg.Phase.
 func (s *Study) scanStream(name string, cfg lumscan.Config, domains []string, countries []geo.CountryCode, tasks []lumscan.Task, sink lumscan.Sink) error {
+	key := s.phaseKey(name)
+	traceDone := s.traceScan(key, &cfg)
 	run := func(cfg lumscan.Config, sink lumscan.Sink) error {
 		if s.Runner != nil {
 			return s.Runner(s.ctx(), domains, countries, tasks, cfg, sink)
 		}
 		return lumscan.ScanStream(s.ctx(), s.Net, domains, countries, tasks, cfg, sink)
 	}
+	var err error
 	if s.Store == nil {
-		return run(cfg, sink)
+		err = run(cfg, sink)
+	} else {
+		err = s.Store.Scan(runstore.Scan{
+			Key:         key,
+			Fingerprint: s.scanFingerprint(key, cfg, len(domains), len(countries), len(tasks)),
+			Cfg:         cfg,
+			Sink:        sink,
+			Run:         run,
+		})
 	}
-	key := s.phaseKey(name)
-	return s.Store.Scan(runstore.Scan{
-		Key:         key,
-		Fingerprint: s.scanFingerprint(key, cfg, len(domains), len(countries), len(tasks)),
-		Cfg:         cfg,
-		Sink:        sink,
-		Run:         run,
-	})
+	traceDone(err)
+	return err
 }
 
 // scanVPSStream is scanStream for the datacenter engine.
 func (s *Study) scanVPSStream(name string, cfg lumscan.Config, fleet []*proxy.VPS, domains []string, tasks []lumscan.Task, sink lumscan.Sink) error {
-	if s.Store == nil {
-		return lumscan.ScanVPSStream(s.ctx(), fleet, domains, tasks, cfg, sink)
-	}
 	key := s.phaseKey(name)
-	return s.Store.Scan(runstore.Scan{
-		Key:         key,
-		Fingerprint: s.scanFingerprint(key, cfg, len(domains), len(fleet), len(tasks)),
-		Cfg:         cfg,
-		Sink:        sink,
-		Run: func(cfg lumscan.Config, sink lumscan.Sink) error {
-			return lumscan.ScanVPSStream(s.ctx(), fleet, domains, tasks, cfg, sink)
-		},
-	})
+	traceDone := s.traceScan(key, &cfg)
+	var err error
+	if s.Store == nil {
+		err = lumscan.ScanVPSStream(s.ctx(), fleet, domains, tasks, cfg, sink)
+	} else {
+		err = s.Store.Scan(runstore.Scan{
+			Key:         key,
+			Fingerprint: s.scanFingerprint(key, cfg, len(domains), len(fleet), len(tasks)),
+			Cfg:         cfg,
+			Sink:        sink,
+			Run: func(cfg lumscan.Config, sink lumscan.Sink) error {
+				return lumscan.ScanVPSStream(s.ctx(), fleet, domains, tasks, cfg, sink)
+			},
+		})
+	}
+	traceDone(err)
+	return err
 }

@@ -21,6 +21,7 @@ import (
 	"geoblock/internal/proxy"
 	"geoblock/internal/stats"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 )
 
 // WorkUnit is the leasable coordinate of one scheduler shard: which
@@ -53,6 +54,10 @@ type UnitResult struct {
 	Samples []Sample
 	Lost    OutageReason
 	Metrics *telemetry.Snapshot
+	// Trace holds the unit's staged wide events when tracing was on —
+	// shipped back in fabric completions and appended at the assembly's
+	// canonical emission point, same as an in-process shard's.
+	Trace []trace.Event
 }
 
 // Plan is the deterministic decomposition of one scan into work units.
@@ -178,11 +183,12 @@ func (p *Plan) ExecuteUnit(ctx context.Context, net *proxy.Network, seq int) (Un
 	staging := telemetry.NewWithClock(p.cfg.Metrics.Clock())
 	scfg := p.cfg
 	scfg.Metrics = staging
-	out := scanShard(ctx, net, p.domains, p.countries, sh, scfg, p.pol)
+	tb := unitBuffer(ScanTraceCtx(p.cfg), seq, p.cfg)
+	out := scanShard(ctx, net, p.domains, p.countries, sh, scfg, p.pol, tb)
 	if err := ctx.Err(); err != nil {
 		return UnitResult{}, err
 	}
-	return UnitResult{Samples: out, Lost: sh.lost, Metrics: staging.Snapshot()}, nil
+	return UnitResult{Samples: out, Lost: sh.lost, Metrics: staging.Snapshot(), Trace: tb.Events()}, nil
 }
 
 // Assembly reassembles unit completions — arriving in any order, from
@@ -216,12 +222,7 @@ func NewAssembly(p *Plan, sink Sink) (*Assembly, error) {
 	if len(p.shards) > 0 {
 		p.cfg.Metrics.Counter(MetShardsScheduled).Add(int64(len(p.shards)))
 	}
-	done := make([]bool, len(p.shards))
-	for i := 0; i < skip; i++ {
-		done[i] = true
-	}
-	em := &emitter{sink: sink, shards: p.shards, done: done, next: skip, reg: p.cfg.Metrics}
-	em.shardSink, _ = sink.(ShardSink)
+	em := newEmitter(sink, p.shards, skip, p.cfg.Metrics, p.cfg.Trace, ScanTraceCtx(p.cfg), p.cfg.Phase)
 	return &Assembly{plan: p, sink: sink, em: em, sp: sp, skip: skip}, nil
 }
 
@@ -254,6 +255,7 @@ func (a *Assembly) Complete(seq int, res UnitResult) error {
 	sh.country = string(a.plan.countries[sh.group])
 	sh.out = res.Samples
 	sh.lost = res.Lost
+	sh.events = res.Trace
 	if res.Metrics != nil && a.plan.cfg.Metrics != nil {
 		// Rehydrate the unit's staged metrics into a shard-local registry
 		// so the emitter's merge-at-emission and ShardDone.Metrics bytes
@@ -297,9 +299,10 @@ func (a *Assembly) Finish() error {
 	a.sp.End()
 	cfg := a.plan.cfg
 	os, isOutageSink := a.sink.(OutageSink)
-	if isOutageSink || cfg.Metrics != nil {
+	if isOutageSink || cfg.Metrics != nil || cfg.Trace != nil {
 		outages, cov := accountOutages(a.plan.shards, a.plan.countries)
 		countOutages(cfg.Metrics, outages, cov)
+		recordScanTail(cfg.Trace, ScanTraceCtx(cfg), cfg.Phase, outages, len(a.plan.shards))
 		if isOutageSink {
 			for _, o := range outages {
 				os.EmitOutage(o)

@@ -10,6 +10,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 )
 
 // Run measures tasks through the proxy mesh, streaming samples into
@@ -35,6 +36,7 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 	_, journaling := sink.(ShardSink)
 
 	sp := startScanSpan(cfg)
+	scanCtx := ScanTraceCtx(cfg)
 	nameOf := func(sh *shard) string { return string(countries[sh.group]) }
 	run := func(ctx context.Context, sh *shard) {
 		// One country-span activation per shard: activations merge by
@@ -50,7 +52,9 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 			sh.staging = telemetry.NewWithClock(cfg.Metrics.Clock())
 			scfg.Metrics = sh.staging
 		}
-		sh.out = scanShard(ctx, net, domains, countries, sh, scfg, pol)
+		tb := unitBuffer(scanCtx, sh.seq, cfg)
+		sh.out = scanShard(ctx, net, domains, countries, sh, scfg, pol, tb)
+		sh.events = tb.Events()
 		if sh.lost == OutageNone {
 			csp.Outcome("ok")
 		} else {
@@ -59,15 +63,17 @@ func Run(ctx context.Context, net *proxy.Network, domains []string, countries []
 		csp.End()
 	}
 	creditSkipped(cfg, sp, shards[:skip], nameOf)
-	err = schedule(ctx, shards, skip, cfg.Concurrency, run, sink, cfg.Metrics)
+	em := newEmitter(sink, shards, skip, cfg.Metrics, cfg.Trace, scanCtx, cfg.Phase)
+	err = schedule(ctx, shards, skip, cfg.Concurrency, run, em)
 	sp.End()
 	if err != nil {
 		return err
 	}
 	os, isOutageSink := sink.(OutageSink)
-	if isOutageSink || cfg.Metrics != nil {
+	if isOutageSink || cfg.Metrics != nil || cfg.Trace != nil {
 		outages, cov := accountOutages(shards, countries)
 		countOutages(cfg.Metrics, outages, cov)
+		recordScanTail(cfg.Trace, scanCtx, cfg.Phase, outages, len(shards))
 		if isOutageSink {
 			for _, o := range outages {
 				os.EmitOutage(o)
@@ -154,12 +160,29 @@ func Scan(ctx context.Context, net *proxy.Network, domains []string, countries [
 }
 
 // scanShard runs one shard's tasks through its own sticky session,
-// recording on the shard why (if at all) its tasks were lost.
-func scanShard(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, sh *shard, cfg Config, pol RetryPolicy) []Sample {
+// recording on the shard why (if at all) its tasks were lost. tb,
+// when non-nil, stages the shard's trace events — session open, one
+// wide record per fetch, and the closing unit event.
+func scanShard(ctx context.Context, net *proxy.Network, domains []string, countries []geo.CountryCode, sh *shard, cfg Config, pol RetryPolicy, tb *trace.Buffer) []Sample {
 	out := make([]Sample, 0, len(sh.tasks)*cfg.Samples)
 	cc := countries[sh.group]
+	unitStart := tb.Wall()
 
 	se, err := openSession(net, cc, sh.slot, pol, cfg.Metrics)
+	if tb != nil {
+		ev := trace.NewEvent(tb.Ctx().Child("session.open", 0), "session.open")
+		ev.Unit = sh.seq
+		ev.Country = string(cc)
+		ev.Phase = cfg.Phase
+		if err == nil {
+			ev.Outcome = "ok"
+		} else {
+			ev.Outcome = "error"
+		}
+		ev.WallNS = unitStart
+		ev.WallDurNS = tb.Wall() - unitStart
+		tb.Record(ev)
+	}
 	if err != nil {
 		var brown *proxy.ErrBrownout
 		if errors.As(err, &brown) {
@@ -172,23 +195,32 @@ func scanShard(ctx context.Context, net *proxy.Network, domains []string, countr
 				out = append(out, Sample{Domain: t.Domain, Country: t.Country, Attempt: uint8(a), Err: ErrNoExits})
 			}
 		}
+		closeUnit(tb, sh, cfg, string(cc), len(out), unitStart)
 		return out
 	}
 
 	f := newFetcher(ctx, se.transport(), cfg)
-	for _, t := range sh.tasks {
+	for ti, t := range sh.tasks {
 		if ctx.Err() != nil {
 			return out
 		}
 		domain := domains[t.Domain]
 		for a := 0; a < cfg.Samples; a++ {
 			seed := sampleSeed(domain, string(cc), cfg.Phase, a)
-			out = append(out, fetchReliable(f, se, domain, seed, t, uint8(a)))
+			if tb == nil {
+				out = append(out, fetchReliable(f, se, domain, seed, t, uint8(a)))
+				continue
+			}
+			fetchStart := tb.Wall()
+			s := fetchReliable(f, se, domain, seed, t, uint8(a))
+			out = append(out, s)
+			recordFetch(tb, sh, cfg, string(cc), domain, ti*cfg.Samples+a, s, fetchStart)
 		}
 	}
 	if se.dark() {
 		sh.lost = OutageDark
 	}
+	closeUnit(tb, sh, cfg, string(cc), len(out), unitStart)
 	return out
 }
 

@@ -28,6 +28,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/stats"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 )
 
 // ErrCode classifies a failed sample.
@@ -269,6 +270,21 @@ type Config struct {
 	// trace reads pipeline phase → scan phase → country. Nil roots the
 	// scan span at the registry.
 	Span *telemetry.Span
+	// Trace, when non-nil, receives wide events from every engine layer
+	// (see internal/trace). Like Metrics, tracing never influences scan
+	// behavior: samples are byte-identical with or without it.
+	Trace *trace.Tracer
+	// TraceCtx pins the scan-level trace context explicitly — the
+	// fabric worker path, where the coordinator issued the context in
+	// the PhaseSpec. When zero, the context derives from Trace's root
+	// (see ScanTraceCtx). Either way every party derives identical
+	// per-unit contexts.
+	TraceCtx trace.SpanCtx
+	// TraceWall, when non-nil, stamps unit events with wall time —
+	// runtime-class information, stripped from the deterministic trace
+	// view. The CLIs pass the tracer's wall clock; deterministic tests
+	// leave it nil and wall stamps stay zero.
+	TraceWall telemetry.Clock
 	// Resume, when non-nil, marks a canonical-order prefix of the
 	// scan's shards as already measured by an earlier run. The engine
 	// skips their work entirely — the journal layer replays their

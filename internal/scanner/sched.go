@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 )
 
 // shard is one schedulable unit: a contiguous chunk of one group's
@@ -26,6 +27,10 @@ type shard struct {
 	// staging holds the shard's own metrics when a ShardSink asked for
 	// per-shard accounting; merged into the main registry at emission.
 	staging *telemetry.Registry
+	// events holds the shard's staged trace events when tracing is on;
+	// appended to the tracer at emission, same canonical point as the
+	// metrics merge.
+	events []trace.Event
 }
 
 // buildShards chunks each group's tasks. Boundaries depend only on the
@@ -102,6 +107,27 @@ type emitter struct {
 	done      []bool
 	next      int
 	reg       *telemetry.Registry
+	// tr/scanCtx/phase carry the trace wiring: staged unit events are
+	// appended (and the per-shard "sink.emit" event recorded) inside
+	// the frontier loop, which is what makes the merged stream's order
+	// canonical regardless of scheduling or process count.
+	tr      *trace.Tracer
+	scanCtx trace.SpanCtx
+	phase   string
+}
+
+// newEmitter builds the canonical-order emitter both compositions
+// share: schedule (the in-process pool) and Assembly (the fabric's
+// reassembly) must stay on this one constructor so their emission-time
+// accounting — metrics merge, ShardDone, trace append — is identical.
+func newEmitter(sink Sink, shards []*shard, skip int, reg *telemetry.Registry, tr *trace.Tracer, scanCtx trace.SpanCtx, phase string) *emitter {
+	done := make([]bool, len(shards))
+	for i := 0; i < skip; i++ {
+		done[i] = true
+	}
+	em := &emitter{sink: sink, shards: shards, done: done, next: skip, reg: reg, tr: tr, scanCtx: scanCtx, phase: phase}
+	em.shardSink, _ = sink.(ShardSink)
+	return em
 }
 
 func (e *emitter) complete(sh *shard) {
@@ -141,23 +167,45 @@ func (e *emitter) complete(sh *shard) {
 				Metrics: det,
 			})
 		}
+		if e.tr != nil {
+			// Same canonical point as the metrics merge: unit events land
+			// in frontier order, then the emission itself is recorded.
+			e.tr.Append(ready.events)
+			virt, wall := e.tr.Now()
+			ev := trace.NewEvent(e.scanCtx.Child("sink.emit", ready.seq), "sink.emit")
+			ev.Parent = e.scanCtx.Span
+			ev.Unit = ready.seq
+			ev.Country = ready.country
+			ev.Phase = e.phase
+			if ready.lost == OutageNone {
+				ev.Outcome = "ok"
+			} else {
+				ev.Outcome = ready.lost.String()
+			}
+			ev.VirtNS = virt
+			ev.WallNS = wall
+			ev.Attrs = []trace.Attr{{K: "samples", V: strconv.Itoa(len(ready.out))}}
+			e.tr.Record(ev)
+		}
 		ready.out = nil // release bodies as soon as the sink has seen them
 		ready.staging = nil
+		ready.events = nil
 		e.next++
 	}
 }
 
 // schedule fans shards out over a work-stealing pool and streams
-// completed shards to sink in canonical order. run must fill sh.out.
-// The first skip shards are a resumed prefix: already persisted by an
-// earlier run, they are never distributed — the emitter's frontier
-// starts past them. On context cancellation workers stop picking up
-// shards and schedule returns ctx.Err(); already-emitted samples are
-// not retracted.
-func schedule(ctx context.Context, shards []*shard, skip int, workers int, run func(context.Context, *shard), sink Sink, reg *telemetry.Registry) error {
+// completed shards through em in canonical order. run must fill
+// sh.out. The first skip shards are a resumed prefix: already
+// persisted by an earlier run, they are never distributed — the
+// emitter's frontier starts past them. On context cancellation workers
+// stop picking up shards and schedule returns ctx.Err();
+// already-emitted samples are not retracted.
+func schedule(ctx context.Context, shards []*shard, skip int, workers int, run func(context.Context, *shard), em *emitter) error {
 	if len(shards) == 0 {
 		return ctx.Err()
 	}
+	reg := em.reg
 	reg.Counter(MetShardsScheduled).Add(int64(len(shards)))
 	live := shards[skip:]
 	if len(live) == 0 {
@@ -187,13 +235,6 @@ func schedule(ctx context.Context, shards []*shard, skip int, workers int, run f
 		d.shards = append(d.shards, sh)
 	}
 
-	done := make([]bool, len(shards))
-	for i := 0; i < skip; i++ {
-		done[i] = true
-	}
-	em := &emitter{sink: sink, shards: shards, done: done, next: skip, reg: reg}
-	em.shardSink, _ = sink.(ShardSink)
-
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -210,6 +251,18 @@ func schedule(ctx context.Context, shards []*shard, skip int, workers int, run f
 					}
 					if sh != nil {
 						steals.Add(1)
+						if em.tr != nil {
+							// Which shard migrates depends entirely on
+							// scheduling — runtime-class by definition.
+							ev := trace.NewEvent(em.scanCtx.Child("steal", sh.seq), "steal")
+							ev.Parent = em.scanCtx.Span
+							ev.Unit = sh.seq
+							ev.Phase = em.phase
+							ev.Runtime = true
+							_, ev.WallNS = em.tr.Now()
+							ev.Attrs = []trace.Attr{{K: "worker", V: strconv.Itoa(w)}}
+							em.tr.Record(ev)
+						}
 					}
 				}
 				if sh == nil {

@@ -10,6 +10,7 @@ import (
 	"geoblock/internal/geo"
 	"geoblock/internal/proxy"
 	"geoblock/internal/telemetry"
+	"geoblock/internal/trace"
 )
 
 // RunVPS streams a VPS-fleet scan into sink. Tasks index domains and
@@ -38,6 +39,7 @@ func RunVPS(ctx context.Context, fleet []*proxy.VPS, domains []string, tasks []T
 	_, journaling := sink.(ShardSink)
 
 	sp := startScanSpan(cfg)
+	scanCtx := ScanTraceCtx(cfg)
 	nameOf := func(sh *shard) string { return string(fleet[sh.group].Country) }
 	run := func(ctx context.Context, sh *shard) {
 		sh.country = nameOf(sh)
@@ -47,14 +49,21 @@ func RunVPS(ctx context.Context, fleet []*proxy.VPS, domains []string, tasks []T
 			sh.staging = telemetry.NewWithClock(cfg.Metrics.Clock())
 			scfg.Metrics = sh.staging
 		}
-		sh.out = scanVPSShard(ctx, fleet[sh.group], domains, sh, scfg)
+		tb := unitBuffer(scanCtx, sh.seq, cfg)
+		sh.out = scanVPSShard(ctx, fleet[sh.group], domains, sh, scfg, tb)
+		sh.events = tb.Events()
 		csp.Outcome("ok") // no session layer: a VPS shard cannot be lost
 		csp.End()
 	}
 	creditSkipped(cfg, sp, shards[:skip], nameOf)
-	err = schedule(ctx, shards, skip, cfg.Concurrency, run, sink, cfg.Metrics)
+	em := newEmitter(sink, shards, skip, cfg.Metrics, cfg.Trace, scanCtx, cfg.Phase)
+	err = schedule(ctx, shards, skip, cfg.Concurrency, run, em)
 	sp.End()
-	return err
+	if err != nil {
+		return err
+	}
+	recordScanTail(cfg.Trace, scanCtx, cfg.Phase, nil, len(shards))
+	return nil
 }
 
 // ScanVPS is the collecting form of RunVPS over the full cross
@@ -69,18 +78,27 @@ func ScanVPS(ctx context.Context, fleet []*proxy.VPS, domains []string, cfg Conf
 	return &Result{Domains: domains, Countries: countries, Samples: c.Samples}, err
 }
 
-func scanVPSShard(ctx context.Context, v *proxy.VPS, domains []string, sh *shard, cfg Config) []Sample {
+func scanVPSShard(ctx context.Context, v *proxy.VPS, domains []string, sh *shard, cfg Config, tb *trace.Buffer) []Sample {
 	f := newFetcher(ctx, v.Stack(), cfg)
 	out := make([]Sample, 0, len(sh.tasks)*cfg.Samples)
-	for _, t := range sh.tasks {
+	unitStart := tb.Wall()
+	for ti, t := range sh.tasks {
 		if ctx.Err() != nil {
 			return out
 		}
 		domain := domains[t.Domain]
 		for a := 0; a < cfg.Samples; a++ {
 			seed := sampleSeed(domain, string(v.Country), cfg.Phase+"/vps", a)
-			out = append(out, f.fetch(domain, seed, t, uint8(a), v.IP))
+			if tb == nil {
+				out = append(out, f.fetch(domain, seed, t, uint8(a), v.IP))
+				continue
+			}
+			fetchStart := tb.Wall()
+			s := f.fetch(domain, seed, t, uint8(a), v.IP)
+			out = append(out, s)
+			recordFetch(tb, sh, cfg, string(v.Country), domain, ti*cfg.Samples+a, s, fetchStart)
 		}
 	}
+	closeUnit(tb, sh, cfg, string(v.Country), len(out), unitStart)
 	return out
 }

@@ -1,20 +1,29 @@
-// HTTP surfaces: /debug/metrics (text, or JSON with ?format=json) and
-// the net/http/pprof handlers, attachable to any mux (worldd's main
-// mux, or the standalone server behind the scan CLIs' -metrics flag).
+// HTTP surfaces: /debug/metrics (text, JSON with ?format=json, or the
+// Prometheus exposition format via content negotiation) and the
+// net/http/pprof handlers, attachable to any mux (worldd's main mux,
+// or the standalone server behind the scan CLIs' -metrics flag).
 package telemetry
 
 import (
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
 // Handler serves the registry's live snapshot: plain text by default,
-// indented JSON with ?format=json.
+// indented JSON with ?format=json, Prometheus text exposition when the
+// scraper negotiates for it (Accept: text/plain; version=0.0.4, or
+// ?format=prometheus for humans).
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		snap := r.Snapshot()
-		if req.URL.Query().Get("format") == "json" {
+		format := req.URL.Query().Get("format")
+		if format == "" && wantsPrometheus(req.Header.Get("Accept")) {
+			format = "prometheus"
+		}
+		switch format {
+		case "json":
 			b, err := snap.JSON()
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -22,11 +31,27 @@ func (r *Registry) Handler() http.Handler {
 			}
 			w.Header().Set("Content-Type", "application/json")
 			w.Write(b)
-			return
+		case "prometheus":
+			w.Header().Set("Content-Type", PrometheusContentType)
+			snap.WritePrometheus(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		snap.WriteText(w)
 	})
+}
+
+// wantsPrometheus reports whether an Accept header asks for the
+// exposition format: any text/plain clause carrying the format's
+// version parameter. Prometheus sends exactly this; browsers and curl
+// never do, so the human-readable text stays the default.
+func wantsPrometheus(accept string) bool {
+	for _, clause := range strings.Split(accept, ",") {
+		if strings.Contains(clause, "text/plain") && strings.Contains(clause, "version=0.0.4") {
+			return true
+		}
+	}
+	return false
 }
 
 // AttachDebug registers /debug/metrics and the pprof handlers on mux.

@@ -40,7 +40,15 @@ const (
 	// HistLookupNanos is the per-request serving latency histogram, in
 	// nanoseconds.
 	HistLookupNanos = "verdict.lookup_ns"
+	// MetSlowLookups counts lookups past SlowLookupNanos — each one
+	// also records a trace exemplar event when the edge has a tracer.
+	MetSlowLookups = "verdict.lookups_slow"
 )
+
+// SlowLookupNanos is the slow-lookup exemplar threshold: a request
+// served slower than this gets a wide event carrying its trace ID, so
+// the latency histogram's tail has concrete, inspectable examples.
+const SlowLookupNanos = 100_000
 
 // Verdict is one (domain, country) answer.
 type Verdict struct {

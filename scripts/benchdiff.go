@@ -1,0 +1,130 @@
+// Command benchdiff gates the perf trajectory: it reads two geobench
+// reports — the committed baseline and a freshly generated one — and
+// fails (exit 1) when any gated metric regressed past the threshold.
+//
+//	go run ./scripts/benchdiff.go -base BENCH_7.json -new BENCH_9.json
+//
+// Three metrics are gated, the ones every PR's hot paths flow through:
+// single-process samples_per_sec (higher is better), the verdict
+// edge's ns_per_verdict_lookup, and the journal's ns_per_record (both
+// lower is better). The fabric cells and resume speedup are reported
+// for context but not gated — they time httptest round-trips and disk
+// replay, which are too noisy for a hard CI threshold.
+//
+// The reader covers every schema since geobench/2; fields added by
+// later schemas (allocs_per_sample, lease_wait_seconds) simply decode
+// as zero from older baselines and are never gated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchReport is the subset of the geobench JSON the gate reads; it
+// decodes any schema from geobench/2 on.
+type benchReport struct {
+	Schema        string `json:"schema"`
+	SingleProcess struct {
+		SamplesPerSec   float64 `json:"samples_per_sec"`
+		AllocsPerSample float64 `json:"allocs_per_sample"`
+	} `json:"single_process"`
+	Encode struct {
+		NsPerRecord float64 `json:"ns_per_record"`
+	} `json:"encode"`
+	Verdict struct {
+		NsPerVerdictLookup float64 `json:"ns_per_verdict_lookup"`
+		AllocsPerLookup    float64 `json:"allocs_per_lookup"`
+	} `json:"verdict"`
+}
+
+func load(path string) (benchReport, error) {
+	var r benchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema == "" {
+		return r, fmt.Errorf("%s: not a geobench report (no schema field)", path)
+	}
+	return r, nil
+}
+
+// gate is one compared metric. higherBetter flips the regression
+// direction: a drop in samples/sec is a regression, a drop in ns/op
+// is an improvement.
+type gate struct {
+	name         string
+	base, new    float64
+	higherBetter bool
+}
+
+// regressPct returns how far new moved in the bad direction, as a
+// percentage of base; improvements come out negative.
+func (g gate) regressPct() float64 {
+	if g.base == 0 {
+		return 0
+	}
+	if g.higherBetter {
+		return (g.base - g.new) / g.base * 100
+	}
+	return (g.new - g.base) / g.base * 100
+}
+
+func main() {
+	base := flag.String("base", "BENCH_7.json", "baseline geobench report")
+	fresh := flag.String("new", "BENCH_9.json", "freshly generated geobench report")
+	maxRegress := flag.Float64("max-regress", 15, "fail when any gated metric regresses past this percentage")
+	flag.Parse()
+
+	baseRep, err := load(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	gates := []gate{
+		{"samples_per_sec", baseRep.SingleProcess.SamplesPerSec, newRep.SingleProcess.SamplesPerSec, true},
+		{"ns_per_verdict_lookup", baseRep.Verdict.NsPerVerdictLookup, newRep.Verdict.NsPerVerdictLookup, false},
+		{"ns_per_record", baseRep.Encode.NsPerRecord, newRep.Encode.NsPerRecord, false},
+	}
+
+	fmt.Printf("benchdiff: %s (%s) -> %s (%s), gate %.0f%%\n",
+		*base, baseRep.Schema, *fresh, newRep.Schema, *maxRegress)
+	failed := false
+	for _, g := range gates {
+		pct := g.regressPct()
+		verdict := "ok"
+		if pct > *maxRegress {
+			verdict = "REGRESSION"
+			failed = true
+		} else if pct < 0 {
+			verdict = "improved"
+		}
+		fmt.Printf("  %-22s %12.3f -> %12.3f  %+7.2f%%  %s\n", g.name, g.base, g.new, pct, verdict)
+	}
+
+	// The zero-alloc lookup promise is absolute, not a percentage: any
+	// allocation on the verdict serving path is a hard failure.
+	if newRep.Verdict.AllocsPerLookup > 0 {
+		fmt.Printf("  %-22s %12.3f -> %12.3f  allocating serving path  REGRESSION\n",
+			"allocs_per_lookup", baseRep.Verdict.AllocsPerLookup, newRep.Verdict.AllocsPerLookup)
+		failed = true
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: gated metric regressed more than %.0f%% against %s\n", *maxRegress, *base)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within budget")
+}

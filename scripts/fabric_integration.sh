@@ -38,7 +38,12 @@ echo "fabric-integration: single-process reference run"
     || { echo "single-process run failed:"; cat "$work/ref.err"; exit 1; }
 
 echo "fabric-integration: coordinator + 3 workers (one chaos-killed)"
-"$work/lumscan" $scan_flags -store "$work/fab" \
+# The coordinator records the run's merged wide-event trace: its own
+# driver events plus every worker's unit events, shipped upstream in
+# shard completions and merged in canonical order. The file survives
+# the temp-dir cleanup as the run's artifact (CI uploads it).
+trace_artifact="${FABRIC_TRACE_ARTIFACT:-$here/fabric-trace.json}"
+"$work/lumscan" $scan_flags -store "$work/fab" -trace "$trace_artifact" \
     -serve-fabric 127.0.0.1:0 -fabric-ready-file "$work/ready" \
     >"$work/fab.out" 2>"$work/fab.err" &
 coord=$!
@@ -100,5 +105,23 @@ if ! cmp -s "$work/ref.out" "$work/fab.out"; then
     diff "$work/ref.out" "$work/fab.out" | head -20 || true
     exit 1
 fi
+
+# The merged trace must exist and be Chrome trace-event JSON with
+# worker-executed unit events in it (the "fetch" spans run on workers,
+# so their presence proves events crossed the wire).
+if [ ! -s "$trace_artifact" ]; then
+    echo "FAIL: coordinator wrote no trace artifact at $trace_artifact"
+    exit 1
+fi
+if ! grep -q '"traceEvents"' "$trace_artifact"; then
+    echo "FAIL: trace artifact is not Chrome trace-event JSON"
+    head -5 "$trace_artifact"
+    exit 1
+fi
+if ! grep -q '"fetch"' "$trace_artifact"; then
+    echo "FAIL: merged trace carries no worker unit events"
+    exit 1
+fi
+echo "fabric-integration: merged trace artifact at $trace_artifact"
 
 echo "fabric-integration: PASS — fabric journal and output byte-identical to single-process"
